@@ -1,0 +1,74 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Every table and figure in the evaluation section of McClintock & Wirth
+// (ICPP 2016) has an experiment id; -list shows them all. The paper's full
+// problem sizes (n up to 1,000,000) run with -scale 1; larger -scale divides
+// every n for fast verification at the same shape.
+//
+//	experiments -list
+//	experiments -exp table2 -scale 10
+//	experiments -exp all -scale 50 -repeats 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"kcenter/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		list     = fs.Bool("list", false, "list available experiments and exit")
+		exp      = fs.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale    = fs.Int("scale", 10, "divide the paper's n by this factor (1 = full size)")
+		repeats  = fs.Int("repeats", 3, "repetitions averaged per cell")
+		seed     = fs.Uint64("seed", 1, "base random seed")
+		machines = fs.Int("m", 50, "simulated MapReduce machines")
+		doPlot   = fs.Bool("plot", false, "render figure experiments as ASCII charts")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Fprintf(out, "%-8s %s\n         paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return nil
+	}
+
+	cfg := harness.RunConfig{Scale: *scale, Repeats: *repeats, Seed: *seed, Machines: *machines, Plot: *doPlot}
+	var toRun []harness.Experiment
+	if *exp == "all" {
+		toRun = harness.All()
+	} else {
+		e, ok := harness.ByID(*exp)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q; use -list", *exp)
+		}
+		toRun = []harness.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		fmt.Fprintf(out, "=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Fprintf(out, "paper reports: %s\n", e.Paper)
+		start := time.Now()
+		if err := e.Run(cfg, out); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(out, "(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"table1", "table2", "table7", "fig1", "fig4b"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list output missing %q:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "=== table1") || !strings.Contains(out, "regenerated in") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunValueExperimentAtTinyScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table3", "-scale", "100", "-repeats", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "MRG") || !strings.Contains(out, "GON") {
+		t.Fatalf("table header missing:\n%s", out)
+	}
+	// Six k rows expected.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 4 && (f[0] == "2" || f[0] == "5" || f[0] == "10" || f[0] == "25" || f[0] == "50" || f[0] == "100") {
+			rows++
+		}
+	}
+	if rows != 6 {
+		t.Fatalf("expected 6 k-rows, found %d:\n%s", rows, out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &buf); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-zzz"}, &buf); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}

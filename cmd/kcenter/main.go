@@ -1,0 +1,152 @@
+// Command kcenter runs one k-center algorithm on a data set and reports the
+// solution value, the simulated parallel runtime and round structure.
+//
+// Data can come from a CSV file (-csv, UCI-style numeric text) or from one
+// of the built-in generators matching the paper's §7.3 families:
+//
+//	kcenter -algo mrg -dataset gau -n 100000 -kprime 25 -k 25
+//	kcenter -algo eim -dataset unif -n 50000 -k 10 -phi 4
+//	kcenter -algo gon -csv pokerhand.data -k 25
+//
+// Exit status is non-zero on any configuration or runtime error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"kcenter/internal/core"
+	"kcenter/internal/dataset"
+	"kcenter/internal/eim"
+	"kcenter/internal/mapreduce"
+	"kcenter/internal/metric"
+	"kcenter/internal/mrg"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kcenter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("kcenter", flag.ContinueOnError)
+	var (
+		algo     = fs.String("algo", "mrg", "algorithm: gon | mrg | eim")
+		k        = fs.Int("k", 10, "number of centers")
+		n        = fs.Int("n", 100000, "points for generated data sets")
+		dsName   = fs.String("dataset", "unif", "generator: unif | gau | unb | poker | kdd")
+		kPrime   = fs.Int("kprime", 25, "inherent clusters for gau/unb")
+		csvPath  = fs.String("csv", "", "load points from a CSV file instead of generating")
+		machines = fs.Int("m", 50, "simulated MapReduce machines")
+		phi      = fs.Float64("phi", 8, "EIM pivot parameter φ")
+		eps      = fs.Float64("eps", 0.1, "EIM sampling exponent ε")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		verbose  = fs.Bool("v", false, "print per-round statistics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ds, name, err := loadData(*csvPath, *dsName, *n, *kPrime, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "data: %s (n=%d, dim=%d)   k=%d   m=%d\n", name, ds.N, ds.Dim, *k, *machines)
+
+	switch *algo {
+	case "gon":
+		start := time.Now()
+		res := core.Gonzalez(ds, *k, core.Options{First: 0})
+		elapsed := time.Since(start)
+		fmt.Fprintf(out, "GON   value=%.6g   wall=%v   distance-evals=%d\n",
+			res.Radius, elapsed, res.DistEvals)
+	case "mrg":
+		res, err := mrg.Run(ds, mrg.Config{
+			K:       *k,
+			Cluster: mapreduce.Config{Machines: *machines},
+			Seed:    *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "MRG   value=%.6g   simulated-wall=%v   rounds=%d   approx=%g\n",
+			res.Radius, res.Stats.SimulatedWall(), res.MapReduceRounds, res.ApproxFactor)
+		if *verbose {
+			printRounds(out, res.Stats)
+		}
+	case "eim":
+		res, err := eim.Run(ds, eim.Config{
+			K:       *k,
+			Phi:     *phi,
+			Epsilon: *eps,
+			Cluster: mapreduce.Config{Machines: *machines},
+			Seed:    *seed,
+		})
+		if err != nil {
+			return err
+		}
+		mode := "sampling"
+		if res.FellBack {
+			mode = "fallback-to-GON"
+		}
+		fmt.Fprintf(out, "EIM   value=%.6g   simulated-wall=%v   rounds=%d   iterations=%d   sample=%d   mode=%s\n",
+			res.Radius, res.Stats.SimulatedWall(), res.MapReduceRounds, res.Iterations,
+			res.SampleSize, mode)
+		if *verbose {
+			printRounds(out, res.Stats)
+			for i, it := range res.PerIteration {
+				fmt.Fprintf(out, "  iter %d: |R| %d -> %d, sampled %d, |H| %d, pivot-dist %.6g\n",
+					i+1, it.RBefore, it.RAfter, it.Sampled, it.HSize, it.PivotDist)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q (want gon, mrg or eim)", *algo)
+	}
+	return nil
+}
+
+func loadData(csvPath, dsName string, n, kPrime int, seed uint64) (*metric.Dataset, string, error) {
+	if csvPath != "" {
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		ds, err := dataset.LoadCSV(f, dataset.LoadCSVOptions{})
+		if err != nil {
+			return nil, "", err
+		}
+		return ds, csvPath, nil
+	}
+	switch dsName {
+	case "unif":
+		l := dataset.Unif(dataset.UnifConfig{N: n, Seed: seed})
+		return l.Points, l.Name, nil
+	case "gau":
+		l := dataset.Gau(dataset.GauConfig{N: n, KPrime: kPrime, Seed: seed})
+		return l.Points, l.Name, nil
+	case "unb":
+		l := dataset.Unb(dataset.GauConfig{N: n, KPrime: kPrime, Seed: seed})
+		return l.Points, l.Name, nil
+	case "poker":
+		l := dataset.PokerLike(seed)
+		return l.Points, l.Name, nil
+	case "kdd":
+		l := dataset.KDDLike(dataset.KDDLikeConfig{N: n, Seed: seed})
+		return l.Points, l.Name, nil
+	default:
+		return nil, "", fmt.Errorf("unknown dataset %q (want unif, gau, unb, poker or kdd)", dsName)
+	}
+}
+
+func printRounds(out io.Writer, stats *mapreduce.JobStats) {
+	for _, r := range stats.Rounds {
+		fmt.Fprintf(out, "  round %-16s machines=%-4d max-wall=%-14v max-ops=%d\n",
+			r.Name, r.Tasks, r.MaxWall, r.MaxOps)
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGON(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-algo", "gon", "-dataset", "unif", "-n", "2000", "-k", "5"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "GON") || !strings.Contains(out, "value=") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunMRGVerbose(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-algo", "mrg", "-dataset", "gau", "-n", "5000", "-kprime", "5", "-k", "5", "-v"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "rounds=2") {
+		t.Fatalf("expected 2-round MRG, got:\n%s", out)
+	}
+	if !strings.Contains(out, "mrg-parallel-1") || !strings.Contains(out, "mrg-final") {
+		t.Fatalf("verbose round listing missing:\n%s", out)
+	}
+}
+
+func TestRunEIMVerbose(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-algo", "eim", "-dataset", "unif", "-n", "30000", "-k", "5", "-v"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "mode=sampling") {
+		t.Fatalf("expected sampling mode:\n%s", out)
+	}
+	if !strings.Contains(out, "iter 1:") {
+		t.Fatalf("verbose iteration stats missing:\n%s", out)
+	}
+}
+
+func TestRunEIMFallbackMode(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-algo", "eim", "-dataset", "unif", "-n", "2000", "-k", "100"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mode=fallback-to-GON") {
+		t.Fatalf("expected fallback mode:\n%s", buf.String())
+	}
+}
+
+func TestRunAllGenerators(t *testing.T) {
+	for _, ds := range []string{"unif", "gau", "unb", "kdd"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-algo", "gon", "-dataset", ds, "-n", "2000", "-k", "3"}, &buf); err != nil {
+			t.Fatalf("dataset %s: %v", ds, err)
+		}
+	}
+	// poker has a fixed size and is slower; run with small k once.
+	var buf bytes.Buffer
+	if err := run([]string{"-algo", "gon", "-dataset", "poker", "-k", "2"}, &buf); err != nil {
+		t.Fatalf("poker: %v", err)
+	}
+}
+
+func TestRunCSVInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "points.csv")
+	if err := os.WriteFile(path, []byte("0,0\n1,0\n0,1\n10,10\n11,10\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-algo", "gon", "-csv", path, "-k", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "n=5") {
+		t.Fatalf("CSV not loaded:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-algo", "nope"}, &buf); err == nil {
+		t.Fatal("unknown algorithm should fail")
+	}
+	if err := run([]string{"-dataset", "nope"}, &buf); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+	if err := run([]string{"-csv", "/does/not/exist.csv"}, &buf); err == nil {
+		t.Fatal("missing CSV should fail")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}

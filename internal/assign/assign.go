@@ -1,0 +1,125 @@
+// Package assign evaluates k-center solutions: it assigns every point to its
+// nearest center and computes the covering radius, cluster sizes and related
+// diagnostics. Evaluation is embarrassingly parallel and uses a bounded
+// goroutine pool; it is *not* charged to the simulated MapReduce cost model,
+// because the paper reports solution values as a property of the output, not
+// as algorithm runtime.
+package assign
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"kcenter/internal/metric"
+)
+
+// Evaluation is the result of assigning a dataset to a center set.
+type Evaluation struct {
+	// Assignment[i] is the position (in the centers slice) of the nearest
+	// center of point i. Ties break toward the lower position, which makes
+	// assignment deterministic ("breaking ties arbitrarily but consistently"
+	// in the paper's §6 terminology).
+	Assignment []int
+	// Dist[i] is the distance from point i to its assigned center.
+	Dist []float64
+	// Radius is max(Dist): the k-center objective value.
+	Radius float64
+	// Farthest is the index of a point realizing Radius.
+	Farthest int
+	// ClusterSizes[c] counts points assigned to centers[c].
+	ClusterSizes []int
+	// DistEvals counts distance evaluations (n · |centers|).
+	DistEvals int64
+}
+
+// Evaluate assigns every point of ds to its nearest center. centers holds
+// dataset indices; workers bounds the goroutine pool (0 means GOMAXPROCS).
+func Evaluate(ds *metric.Dataset, centers []int, workers int) *Evaluation {
+	if len(centers) == 0 {
+		panic("assign: Evaluate with no centers")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := ds.N
+	ev := &Evaluation{
+		Assignment:   make([]int, n),
+		Dist:         make([]float64, n),
+		ClusterSizes: make([]int, len(centers)),
+		DistEvals:    int64(n) * int64(len(centers)),
+		Farthest:     -1,
+	}
+	// Copy center coordinates once so the inner loop reads a compact block.
+	cpts := ds.Subset(centers)
+
+	type partial struct {
+		radiusSq float64
+		farthest int
+		sizes    []int
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 0 {
+		workers = 1
+	}
+	partials := make([]partial, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			partials[w] = partial{farthest: -1, sizes: make([]int, len(centers))}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			p := partial{farthest: -1, sizes: make([]int, len(centers))}
+			for i := lo; i < hi; i++ {
+				pt := ds.At(i)
+				bestSq, bestC := math.Inf(1), 0
+				for c := 0; c < cpts.N; c++ {
+					if sq := metric.SqDist(pt, cpts.At(c)); sq < bestSq {
+						bestSq = sq
+						bestC = c
+					}
+				}
+				ev.Assignment[i] = bestC
+				ev.Dist[i] = math.Sqrt(bestSq)
+				p.sizes[bestC]++
+				if bestSq > p.radiusSq {
+					p.radiusSq = bestSq
+					p.farthest = i
+				}
+			}
+			partials[w] = p
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	var radiusSq float64
+	for _, p := range partials {
+		if p.farthest >= 0 && p.radiusSq > radiusSq {
+			radiusSq = p.radiusSq
+			ev.Farthest = p.farthest
+		}
+		for c, s := range p.sizes {
+			ev.ClusterSizes[c] += s
+		}
+	}
+	if ev.Farthest == -1 && n > 0 {
+		ev.Farthest = 0
+	}
+	ev.Radius = math.Sqrt(radiusSq)
+	return ev
+}
+
+// Radius is a convenience wrapper returning just the covering radius.
+func Radius(ds *metric.Dataset, centers []int) float64 {
+	return Evaluate(ds, centers, 0).Radius
+}

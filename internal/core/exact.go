@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"kcenter/internal/metric"
+)
+
+// ExactSmall computes the optimal k-center solution by exhaustive search
+// over all center subsets. It is the oracle behind the approximation-ratio
+// property tests and is exponential in k: callers must keep C(n, k) small
+// (the tests stay below n = 14, k = 4). It panics when the search space
+// exceeds maxExactSubsets as a guard against accidental misuse.
+func ExactSmall(ds *metric.Dataset, k int) *Result {
+	const maxExactSubsets = 5_000_000
+	n := ds.N
+	if n == 0 {
+		panic("core: ExactSmall on empty dataset")
+	}
+	if k <= 0 {
+		panic(fmt.Sprintf("core: ExactSmall requires k >= 1, got %d", k))
+	}
+	if k >= n {
+		centers := make([]int, n)
+		for i := range centers {
+			centers[i] = i
+		}
+		return &Result{Centers: centers, Radius: 0}
+	}
+	if c := binomial(n, k); c <= 0 || c > maxExactSubsets {
+		panic(fmt.Sprintf("core: ExactSmall search space C(%d,%d) too large", n, k))
+	}
+
+	// Precompute the squared distance matrix once; n is tiny by contract.
+	sq := make([][]float64, n)
+	for i := range sq {
+		sq[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			sq[i][j] = ds.SqDist(i, j)
+		}
+	}
+
+	best := math.Inf(1)
+	bestSet := make([]int, k)
+	cur := make([]int, k)
+	var recurse func(start, depth int)
+	recurse = func(start, depth int) {
+		if depth == k {
+			worst := 0.0
+			for p := 0; p < n; p++ {
+				near := math.Inf(1)
+				for _, c := range cur {
+					if sq[p][c] < near {
+						near = sq[p][c]
+					}
+				}
+				if near > worst {
+					worst = near
+					if worst >= best {
+						return // prune: already no better than incumbent
+					}
+				}
+			}
+			if worst < best {
+				best = worst
+				copy(bestSet, cur)
+			}
+			return
+		}
+		for c := start; c <= n-(k-depth); c++ {
+			cur[depth] = c
+			recurse(c+1, depth+1)
+		}
+	}
+	recurse(0, 0)
+	return &Result{Centers: append([]int(nil), bestSet...), Radius: math.Sqrt(best)}
+}
+
+// binomial returns C(n, k), saturating at math.MaxInt64 on overflow via a
+// conservative clamp.
+func binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	result := int64(1)
+	for i := 0; i < k; i++ {
+		if result > (1<<62)/int64(n-i) {
+			return math.MaxInt64
+		}
+		result = result * int64(n-i) / int64(i+1)
+	}
+	return result
+}

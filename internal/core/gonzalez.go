@@ -1,0 +1,249 @@
+// Package core implements the sequential k-center primitives at the heart of
+// the reproduction: Gonzalez's greedy farthest-first 2-approximation (GON in
+// the paper), covering-radius evaluation, an exact solver for tiny instances
+// (the test oracle behind every approximation-ratio property test), and the
+// farthest-first lower bound.
+//
+// GON (Gonzalez 1985) picks an arbitrary first center, then repeatedly marks
+// the point farthest from the chosen centers as the next center, k times.
+// The triangle inequality makes the result a 2-approximation; the running
+// time is O(k·n) distance evaluations with a very small constant (§5.1),
+// which is why it is both the paper's sequential baseline and the reducer
+// sub-procedure inside both parallel algorithms.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"kcenter/internal/metric"
+	"kcenter/internal/rng"
+)
+
+// Result describes a k-center solution over a dataset.
+type Result struct {
+	// Centers holds dataset indices of the chosen centers, in selection
+	// order (for GON, farthest-first order).
+	Centers []int
+	// Radius is the covering radius: max over points of the distance to the
+	// nearest center.
+	Radius float64
+	// MinDist[i] is the distance from point i to its nearest center.
+	// Algorithms that do not materialize it leave it nil.
+	MinDist []float64
+	// DistEvals counts the distance evaluations performed, the deterministic
+	// cost unit used by the simulated MapReduce cost model.
+	DistEvals int64
+}
+
+// Options configures Gonzalez.
+type Options struct {
+	// First is the index of the first (arbitrary) center. When negative, the
+	// first center is drawn uniformly with Rand (or index 0 when Rand is
+	// nil). The paper notes the approximation guarantee is independent of
+	// this choice, but the realized solution is not — experiments seed it.
+	First int
+	// Rand supplies randomness for First < 0.
+	Rand *rng.Source
+}
+
+// Gonzalez runs the farthest-first traversal and returns k centers (fewer
+// when the dataset has fewer than k points; every point becomes a center and
+// the radius is zero). It panics on k <= 0 or an empty dataset, which are
+// programming errors in this repository's callers.
+func Gonzalez(ds *metric.Dataset, k int, opt Options) *Result {
+	if k <= 0 {
+		panic(fmt.Sprintf("core: Gonzalez requires k >= 1, got %d", k))
+	}
+	n := ds.N
+	if n == 0 {
+		panic("core: Gonzalez on empty dataset")
+	}
+	if k > n {
+		k = n
+	}
+	first := opt.First
+	if first < 0 {
+		if opt.Rand != nil {
+			first = opt.Rand.Intn(n)
+		} else {
+			first = 0
+		}
+	}
+	if first >= n {
+		panic(fmt.Sprintf("core: first center %d out of range [0,%d)", first, n))
+	}
+
+	res := &Result{Centers: make([]int, 0, k)}
+	// minSq[i] tracks the squared distance from point i to the nearest
+	// chosen center. Squared distances are monotone in true distances, so
+	// the argmax (next center) and the final radius (after one Sqrt) are
+	// exact.
+	minSq := make([]float64, n)
+	for i := range minSq {
+		minSq[i] = math.Inf(1)
+	}
+	center := first
+	for len(res.Centers) < k {
+		res.Centers = append(res.Centers, center)
+		cp := ds.At(center)
+		next, far := center, -1.0
+		for i := 0; i < n; i++ {
+			if sq := metric.SqDist(ds.At(i), cp); sq < minSq[i] {
+				minSq[i] = sq
+			}
+			if minSq[i] > far {
+				far = minSq[i]
+				next = i
+			}
+		}
+		res.DistEvals += int64(n)
+		if len(res.Centers) == k {
+			res.Radius = math.Sqrt(far)
+			break
+		}
+		if far == 0 {
+			// Every remaining point coincides with a center; the solution is
+			// already perfect and further centers would be duplicates.
+			res.Radius = 0
+			break
+		}
+		center = next
+	}
+	res.MinDist = make([]float64, n)
+	for i, sq := range minSq {
+		res.MinDist[i] = math.Sqrt(sq)
+	}
+	return res
+}
+
+// GonzalezSubset runs the farthest-first traversal restricted to the points
+// named by idx (indices into ds) and returns centers as indices into ds.
+// It is the reducer-side primitive of MRG: a reducer receives a partition of
+// the point set and runs GON on just that partition without copying the
+// coordinates.
+func GonzalezSubset(ds *metric.Dataset, idx []int, k int, opt Options) *Result {
+	if k <= 0 {
+		panic(fmt.Sprintf("core: GonzalezSubset requires k >= 1, got %d", k))
+	}
+	n := len(idx)
+	if n == 0 {
+		panic("core: GonzalezSubset on empty subset")
+	}
+	if k > n {
+		k = n
+	}
+	firstPos := opt.First
+	if firstPos < 0 {
+		if opt.Rand != nil {
+			firstPos = opt.Rand.Intn(n)
+		} else {
+			firstPos = 0
+		}
+	}
+	if firstPos >= n {
+		panic(fmt.Sprintf("core: first center position %d out of range [0,%d)", firstPos, n))
+	}
+
+	res := &Result{Centers: make([]int, 0, k)}
+	minSq := make([]float64, n)
+	for i := range minSq {
+		minSq[i] = math.Inf(1)
+	}
+	pos := firstPos
+	for len(res.Centers) < k {
+		res.Centers = append(res.Centers, idx[pos])
+		cp := ds.At(idx[pos])
+		next, far := pos, -1.0
+		for i := 0; i < n; i++ {
+			if sq := metric.SqDist(ds.At(idx[i]), cp); sq < minSq[i] {
+				minSq[i] = sq
+			}
+			if minSq[i] > far {
+				far = minSq[i]
+				next = i
+			}
+		}
+		res.DistEvals += int64(n)
+		if len(res.Centers) == k {
+			res.Radius = math.Sqrt(far)
+			break
+		}
+		if far == 0 {
+			res.Radius = 0
+			break
+		}
+		pos = next
+	}
+	return res
+}
+
+// CoveringRadius returns the k-center objective value of the given centers
+// over the whole dataset along with the distance-evaluation count. Centers
+// are dataset indices.
+func CoveringRadius(ds *metric.Dataset, centers []int) (float64, int64) {
+	if len(centers) == 0 {
+		panic("core: CoveringRadius with no centers")
+	}
+	var worst float64
+	var evals int64
+	for i := 0; i < ds.N; i++ {
+		p := ds.At(i)
+		best := math.Inf(1)
+		for _, c := range centers {
+			sq := metric.SqDist(p, ds.At(c))
+			evals++
+			if sq < best {
+				best = sq
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return math.Sqrt(worst), evals
+}
+
+// FarthestFirstDistances runs the traversal k+1 steps and returns the
+// sequence d_1 >= d_2 >= ... where d_i is the distance of the i-th selected
+// center from the previously selected ones. The classic lower bound
+// OPT >= d_{k+1}/2 follows from the pigeonhole principle: k+2 points that
+// pairwise differ by at least d_{k+1} cannot all be covered by k balls of
+// radius < d_{k+1}/2.
+func FarthestFirstDistances(ds *metric.Dataset, steps int, opt Options) []float64 {
+	if steps > ds.N {
+		steps = ds.N
+	}
+	res := Gonzalez(ds, steps, opt)
+	// Re-derive the selection distances: replay is cheaper than storing in
+	// Gonzalez for every caller, but for clarity we simply recompute the
+	// traversal here (the function is diagnostic, not hot).
+	dists := make([]float64, 0, steps)
+	minSq := make([]float64, ds.N)
+	for i := range minSq {
+		minSq[i] = math.Inf(1)
+	}
+	for step, c := range res.Centers {
+		if step > 0 {
+			dists = append(dists, math.Sqrt(minSq[c]))
+		}
+		cp := ds.At(c)
+		for i := 0; i < ds.N; i++ {
+			if sq := metric.SqDist(ds.At(i), cp); sq < minSq[i] {
+				minSq[i] = sq
+			}
+		}
+	}
+	return dists
+}
+
+// LowerBound returns a certified lower bound on the optimal k-center radius:
+// d_{k+1}/2 from the farthest-first traversal. Returns 0 when the dataset
+// has at most k distinct points.
+func LowerBound(ds *metric.Dataset, k int, opt Options) float64 {
+	dists := FarthestFirstDistances(ds, k+1, opt)
+	if len(dists) < k {
+		return 0
+	}
+	return dists[k-1] / 2
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"kcenter/internal/metric"
+)
+
+// GonzalezParallel is the shared-memory parallelization of the farthest-first
+// traversal: the O(n) relaxation step of each of the k iterations — update
+// every point's distance to the newest center and find the new farthest
+// point — is split across a goroutine pool.
+//
+// This is the *intra-machine* counterpart of the paper's MRG: MRG
+// parallelizes across MapReduce machines by partitioning the input and
+// paying a factor 2 in the guarantee, whereas this routine parallelizes the
+// exact sequential traversal across cores and returns bit-identical centers
+// to Gonzalez (ties broken toward the lower index, matching the sequential
+// scan order). The reduction per iteration is a max, so the traversal stays
+// deterministic. Used by reducers when partitions are large and by the
+// sequential baseline on many-core hosts; the ablation benchmark
+// BenchmarkAblationParallelGonzalez quantifies the speedup.
+func GonzalezParallel(ds *metric.Dataset, k int, opt Options, workers int) *Result {
+	if workers <= 1 {
+		return Gonzalez(ds, k, opt)
+	}
+	if k <= 0 {
+		panic("core: GonzalezParallel requires k >= 1")
+	}
+	n := ds.N
+	if n == 0 {
+		panic("core: GonzalezParallel on empty dataset")
+	}
+	if k > n {
+		k = n
+	}
+	if workers > n {
+		workers = n
+	}
+	if max := runtime.GOMAXPROCS(0) * 4; workers > max {
+		workers = max
+	}
+	first := opt.First
+	if first < 0 {
+		if opt.Rand != nil {
+			first = opt.Rand.Intn(n)
+		} else {
+			first = 0
+		}
+	}
+	if first >= n {
+		panic("core: first center out of range")
+	}
+
+	res := &Result{Centers: make([]int, 0, k)}
+	minSq := make([]float64, n)
+	for i := range minSq {
+		minSq[i] = math.Inf(1)
+	}
+
+	type partial struct {
+		far  float64
+		next int
+		_pad [6]int64 // avoid false sharing between workers' slots
+	}
+	partials := make([]partial, workers)
+	chunk := (n + workers - 1) / workers
+
+	var wg sync.WaitGroup
+	center := first
+	for len(res.Centers) < k {
+		res.Centers = append(res.Centers, center)
+		cp := ds.At(center)
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				partials[w] = partial{far: -1, next: -1}
+				continue
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				far, next := -1.0, lo
+				for i := lo; i < hi; i++ {
+					if sq := metric.SqDist(ds.At(i), cp); sq < minSq[i] {
+						minSq[i] = sq
+					}
+					if minSq[i] > far {
+						far = minSq[i]
+						next = i
+					}
+				}
+				partials[w] = partial{far: far, next: next}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		res.DistEvals += int64(n)
+
+		// Deterministic max-reduction: strictly-greater comparison over
+		// workers in index order reproduces the sequential argmax (lowest
+		// index among ties).
+		far, next := -1.0, center
+		for w := 0; w < workers; w++ {
+			if partials[w].next >= 0 && partials[w].far > far {
+				far = partials[w].far
+				next = partials[w].next
+			}
+		}
+		if len(res.Centers) == k {
+			res.Radius = math.Sqrt(far)
+			break
+		}
+		if far == 0 {
+			res.Radius = 0
+			break
+		}
+		center = next
+	}
+	res.MinDist = make([]float64, n)
+	for i, sq := range minSq {
+		res.MinDist[i] = math.Sqrt(sq)
+	}
+	return res
+}

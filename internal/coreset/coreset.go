@@ -1,0 +1,198 @@
+// Package coreset implements the streaming doubling algorithm for k-center
+// (Charikar, Chekuri, Feder & Motwani, STOC 1997), maintaining at most k
+// centers over a one-pass stream in O(k) memory with a factor-8 guarantee.
+//
+// The paper motivates its parallel algorithms with inputs too large for RAM
+// (§1) and sketches external-memory hybrids in §3.2 ("We could also exploit
+// external memory ... running multiple instances of our MapReduce algorithm
+// and using a k-center algorithm on the disjoint union of the solutions").
+// This package supplies the standard streaming counterpart: each machine —
+// or a single machine reading from disk — can stream its share through a
+// Streaming summarizer and feed the O(k) retained centers to GON, exactly
+// the disjoint-union composition the paper describes.
+//
+// Invariants maintained by the doubling scheme, with threshold radius r:
+//
+//	(I1) every point seen so far is within 4r of a retained center;
+//	(I2) retained centers are pairwise more than 2r apart.
+//
+// When a (k+1)-th center would be retained, (I2) plus the pigeonhole
+// principle forces OPT > r, so doubling r and re-merging keeps the final
+// covering radius 4r within 8·OPT.
+package coreset
+
+import (
+	"fmt"
+	"math"
+
+	"kcenter/internal/metric"
+)
+
+// Streaming is a one-pass k-center summarizer. The zero value is unusable;
+// construct with NewStreaming. Not safe for concurrent use.
+type Streaming struct {
+	k   int
+	dim int
+	// r is the current threshold radius; 0 until the initial phase ends.
+	r float64
+	// centers stores retained center coordinates (copies, not stream refs).
+	centers *metric.Dataset
+	// initial buffers the first distinct k+1 points before r is known.
+	initial *metric.Dataset
+	// doublings counts threshold doublings, for diagnostics and tests.
+	doublings int
+	// seen counts points consumed.
+	seen int64
+}
+
+// NewStreaming returns a summarizer for k centers over dim-dimensional
+// points.
+func NewStreaming(k, dim int) *Streaming {
+	if k < 1 {
+		panic(fmt.Sprintf("coreset: k must be >= 1, got %d", k))
+	}
+	if dim < 1 {
+		panic(fmt.Sprintf("coreset: dim must be >= 1, got %d", dim))
+	}
+	return &Streaming{
+		k:       k,
+		dim:     dim,
+		centers: metric.NewDataset(0, dim),
+		initial: metric.NewDataset(0, dim),
+	}
+}
+
+// Add consumes one point from the stream.
+func (s *Streaming) Add(p []float64) {
+	if len(p) != s.dim {
+		panic(fmt.Sprintf("coreset: point dimension %d, want %d", len(p), s.dim))
+	}
+	s.seen++
+	if s.initial != nil {
+		s.addInitial(p)
+		return
+	}
+	// Steady state: discard covered points, retain escapes.
+	if s.sqDistToCenters(p) <= s.coverSq() {
+		return
+	}
+	s.centers.Append(p)
+	for s.centers.N > s.k {
+		s.double()
+	}
+}
+
+// addInitial buffers distinct points until k+1 are held, then derives the
+// first threshold from their minimum pairwise distance.
+func (s *Streaming) addInitial(p []float64) {
+	// Exact duplicates never help; skipping them keeps r strictly positive.
+	for i := 0; i < s.initial.N; i++ {
+		if metric.SqDist(s.initial.At(i), p) == 0 {
+			return
+		}
+	}
+	s.initial.Append(p)
+	if s.initial.N < s.k+1 {
+		return
+	}
+	// First k+1 distinct points: r = (min pairwise distance)/2, so they are
+	// pairwise >= 2r and OPT >= r by pigeonhole.
+	minSq := math.Inf(1)
+	for i := 0; i < s.initial.N; i++ {
+		for j := i + 1; j < s.initial.N; j++ {
+			if sq := metric.SqDist(s.initial.At(i), s.initial.At(j)); sq < minSq {
+				minSq = sq
+			}
+		}
+	}
+	s.r = math.Sqrt(minSq) / 2
+	s.centers = s.initial
+	s.initial = nil
+	for s.centers.N > s.k {
+		s.double()
+	}
+}
+
+// double doubles the threshold and merges centers that fall within the new
+// separation bound 2r, preserving (I1) with the doubled radius.
+func (s *Streaming) double() {
+	if s.r == 0 {
+		// All retained points coincide spatially except k+1 distinct ones —
+		// cannot happen after addInitial sets r > 0; guard for safety.
+		s.r = math.SmallestNonzeroFloat64
+	}
+	s.r *= 2
+	s.doublings++
+	sepSq := 4 * s.r * s.r // (2r)²
+	merged := metric.NewDataset(0, s.dim)
+	for i := 0; i < s.centers.N; i++ {
+		p := s.centers.At(i)
+		keep := true
+		for j := 0; j < merged.N; j++ {
+			if metric.SqDist(p, merged.At(j)) <= sepSq {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			merged.Append(p)
+		}
+	}
+	s.centers = merged
+}
+
+func (s *Streaming) coverSq() float64 {
+	c := 4 * s.r // covering radius 4r (I1)
+	return c * c
+}
+
+func (s *Streaming) sqDistToCenters(p []float64) float64 {
+	best := math.Inf(1)
+	for i := 0; i < s.centers.N; i++ {
+		if sq := metric.SqDist(p, s.centers.At(i)); sq < best {
+			best = sq
+		}
+	}
+	return best
+}
+
+// Centers returns copies of the retained center coordinates (at most k once
+// at least k+1 distinct points have been consumed; fewer while the stream is
+// still tiny).
+func (s *Streaming) Centers() [][]float64 {
+	src := s.centers
+	if s.initial != nil {
+		src = s.initial
+	}
+	out := make([][]float64, src.N)
+	for i := range out {
+		out[i] = append([]float64(nil), src.At(i)...)
+	}
+	return out
+}
+
+// RadiusBound returns the certified covering radius bound 4r for every point
+// consumed so far (0 during the initial phase, when retained points cover
+// the stream exactly).
+func (s *Streaming) RadiusBound() float64 {
+	if s.initial != nil {
+		return 0
+	}
+	return 4 * s.r
+}
+
+// Doublings reports how many times the threshold doubled.
+func (s *Streaming) Doublings() int { return s.doublings }
+
+// Seen reports how many points were consumed.
+func (s *Streaming) Seen() int64 { return s.seen }
+
+// Summarize streams an in-memory dataset through a new summarizer — the
+// convenience entry point for the disjoint-union composition of §3.2.
+func Summarize(ds *metric.Dataset, k int) *Streaming {
+	s := NewStreaming(k, ds.Dim)
+	for i := 0; i < ds.N; i++ {
+		s.Add(ds.At(i))
+	}
+	return s
+}

@@ -1,0 +1,207 @@
+package coreset
+
+import (
+	"math"
+	"testing"
+
+	"kcenter/internal/core"
+	"kcenter/internal/dataset"
+	"kcenter/internal/metric"
+	"kcenter/internal/rng"
+)
+
+// coveringRadius computes the true max distance from every dataset point to
+// the summarizer's retained centers.
+func coveringRadius(ds *metric.Dataset, centers [][]float64) float64 {
+	worst := 0.0
+	for i := 0; i < ds.N; i++ {
+		best := math.Inf(1)
+		for _, c := range centers {
+			if sq := metric.SqDist(ds.At(i), c); sq < best {
+				best = sq
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return math.Sqrt(worst)
+}
+
+func TestInvariantBoundHolds(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 10; trial++ {
+		n := 500 + r.Intn(2000)
+		k := 1 + r.Intn(8)
+		ds := metric.NewDataset(n, 2)
+		for i := range ds.Data {
+			ds.Data[i] = r.Float64Range(-100, 100)
+		}
+		s := Summarize(ds, k)
+		centers := s.Centers()
+		if len(centers) > k {
+			t.Fatalf("trial %d: %d centers retained for k=%d", trial, len(centers), k)
+		}
+		actual := coveringRadius(ds, centers)
+		if bound := s.RadiusBound(); actual > bound+1e-9 {
+			t.Fatalf("trial %d: actual covering radius %v exceeds certified bound %v", trial, actual, bound)
+		}
+	}
+}
+
+func TestEightApproxAgainstExact(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 40; trial++ {
+		n := 8 + r.Intn(6)
+		k := 1 + r.Intn(3)
+		ds := metric.NewDataset(n, 2)
+		for i := range ds.Data {
+			ds.Data[i] = r.Float64Range(-50, 50)
+		}
+		opt := core.ExactSmall(ds, k)
+		s := Summarize(ds, k)
+		actual := coveringRadius(ds, s.Centers())
+		if actual > 8*opt.Radius+1e-9 {
+			t.Fatalf("trial %d: streaming radius %v > 8·OPT = %v", trial, actual, 8*opt.Radius)
+		}
+	}
+}
+
+func TestTinyStreams(t *testing.T) {
+	s := NewStreaming(3, 2)
+	if len(s.Centers()) != 0 || s.RadiusBound() != 0 {
+		t.Fatal("fresh summarizer should be empty")
+	}
+	s.Add([]float64{1, 1})
+	s.Add([]float64{2, 2})
+	// Fewer than k+1 distinct points: all retained exactly.
+	if len(s.Centers()) != 2 || s.RadiusBound() != 0 {
+		t.Fatalf("centers %v bound %v", s.Centers(), s.RadiusBound())
+	}
+	if s.Seen() != 2 {
+		t.Fatalf("seen %d", s.Seen())
+	}
+}
+
+func TestDuplicateOnlyStream(t *testing.T) {
+	s := NewStreaming(2, 1)
+	for i := 0; i < 100; i++ {
+		s.Add([]float64{7})
+	}
+	if len(s.Centers()) != 1 || s.RadiusBound() != 0 {
+		t.Fatalf("duplicate stream: centers %v bound %v", s.Centers(), s.RadiusBound())
+	}
+}
+
+func TestClusteredStreamFindsClusters(t *testing.T) {
+	l := dataset.Gau(dataset.GauConfig{N: 20000, KPrime: 5, Seed: 3})
+	s := Summarize(l.Points, 5)
+	actual := coveringRadius(l.Points, s.Centers())
+	// 8·(cluster radius ~1) plus slack; must stay far below the ~100 field.
+	if actual > 40 {
+		t.Fatalf("streaming radius %v failed to track 5 tight clusters", actual)
+	}
+	if s.Doublings() == 0 {
+		t.Fatal("expected at least one doubling on clustered data")
+	}
+}
+
+func TestCentersAreCopies(t *testing.T) {
+	s := NewStreaming(1, 2)
+	p := []float64{1, 2}
+	s.Add(p)
+	p[0] = 99
+	if s.Centers()[0][0] != 1 {
+		t.Fatal("summarizer aliased the caller's slice")
+	}
+	c := s.Centers()
+	c[0][0] = 55
+	if s.Centers()[0][0] != 1 {
+		t.Fatal("Centers returned aliasing slices")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"k=0":     func() { NewStreaming(0, 2) },
+		"dim=0":   func() { NewStreaming(2, 0) },
+		"baddims": func() { NewStreaming(2, 2).Add([]float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMemoryStaysBounded(t *testing.T) {
+	// The whole point: k centers retained regardless of stream length.
+	r := rng.New(4)
+	s := NewStreaming(10, 3)
+	for i := 0; i < 200000; i++ {
+		s.Add([]float64{r.Float64() * 1000, r.Float64() * 1000, r.Float64() * 1000})
+	}
+	if n := len(s.Centers()); n > 10 {
+		t.Fatalf("%d centers retained", n)
+	}
+	if s.Seen() != 200000 {
+		t.Fatalf("seen %d", s.Seen())
+	}
+}
+
+func TestDisjointUnionComposition(t *testing.T) {
+	// §3.2 composition: summarize shards independently, then run GON on the
+	// union of retained centers. The result must cover the full data set
+	// within the sum of the shard bounds plus GON's radius on the union.
+	l := dataset.Gau(dataset.GauConfig{N: 30000, KPrime: 8, Seed: 5})
+	const k, shards = 8, 6
+	var union [][]float64
+	maxBound := 0.0
+	per := l.Points.N / shards
+	for sh := 0; sh < shards; sh++ {
+		s := NewStreaming(k, l.Points.Dim)
+		for i := sh * per; i < (sh+1)*per; i++ {
+			s.Add(l.Points.At(i))
+		}
+		if b := s.RadiusBound(); b > maxBound {
+			maxBound = b
+		}
+		union = append(union, s.Centers()...)
+	}
+	uds, err := metric.FromPoints(union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.Gonzalez(uds, k, core.Options{})
+	// Each original point: within maxBound of some union point, which is
+	// within g.Radius of a final center.
+	finalCenters := make([][]float64, len(g.Centers))
+	for i, c := range g.Centers {
+		finalCenters[i] = uds.At(c)
+	}
+	actual := coveringRadius(l.Points, finalCenters)
+	if actual > maxBound+g.Radius+1e-9 {
+		t.Fatalf("composition radius %v exceeds bound %v + %v", actual, maxBound, g.Radius)
+	}
+	// And on this clustered data it must actually find the clusters.
+	if actual > 50 {
+		t.Fatalf("composition radius %v failed on clustered data", actual)
+	}
+}
+
+func BenchmarkStreamingAdd(b *testing.B) {
+	r := rng.New(1)
+	s := NewStreaming(20, 2)
+	pts := make([][]float64, 10000)
+	for i := range pts {
+		pts[i] = []float64{r.Float64() * 100, r.Float64() * 100}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(pts[i%len(pts)])
+	}
+}

@@ -1,0 +1,62 @@
+package eim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the loop-entry threshold is monotone in k and in n (for fixed
+// epsilon), matching its closed form (4/ε)·k·n^ε·log n.
+func TestQuickThresholdMonotone(t *testing.T) {
+	f := func(nRaw uint32, kRaw uint8) bool {
+		n := int(nRaw%100000) + 10
+		k := int(kRaw%100) + 1
+		const eps = 0.1
+		tk := Threshold(n, k, eps)
+		if Threshold(n, k+1, eps) < tk {
+			return false
+		}
+		if Threshold(n*2, k, eps) < tk {
+			return false
+		}
+		return tk > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SelectPosition is always a valid 1-based rank into H and is
+// monotone in phi.
+func TestQuickSelectPositionBounds(t *testing.T) {
+	f := func(nRaw uint32, hRaw uint16, phiRaw uint8) bool {
+		n := int(nRaw%1000000) + 2
+		h := int(hRaw%5000) + 1
+		phi := float64(phiRaw%16) + 0.25
+		pos := SelectPosition(n, h, phi)
+		if pos < 1 || pos > h {
+			return false
+		}
+		// Larger phi must not select an earlier (farther) rank.
+		return SelectPosition(n, h, phi+1) >= pos
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the threshold formula agrees with its definition at exactly
+// representable inputs.
+func TestQuickThresholdFormula(t *testing.T) {
+	f := func(kRaw uint8) bool {
+		k := int(kRaw%50) + 1
+		n := 10000
+		got := Threshold(n, k, 0.1)
+		want := 40 * float64(k) * math.Pow(float64(n), 0.1) * math.Log(float64(n))
+		return math.Abs(got-want) <= 1e-9*want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Fatal(err)
+	}
+}

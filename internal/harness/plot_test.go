@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFigureExperimentWithPlot exercises the ASCII-chart path of the figure
+// experiments end to end at a tiny scale.
+func TestFigureExperimentWithPlot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("plot smoke test regenerates a figure")
+	}
+	e, ok := ByID("fig2b")
+	if !ok {
+		t.Fatal("fig2b missing")
+	}
+	var buf bytes.Buffer
+	cfg := RunConfig{Scale: 200, Repeats: 1, Seed: 2, Plot: true}
+	if err := e.Run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"runtime over k", "* MRG", "+ EIM", "x GON"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestScaleSweepWithPlot covers the figure-4 plotting path.
+func TestScaleSweepWithPlot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("plot smoke test regenerates a figure")
+	}
+	e, ok := ByID("fig4a")
+	if !ok {
+		t.Fatal("fig4a missing")
+	}
+	var buf bytes.Buffer
+	cfg := RunConfig{Scale: 500, Repeats: 1, Seed: 3, Plot: true}
+	if err := e.Run(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "runtime over n") {
+		t.Fatalf("plot output missing chart:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,143 @@
+// Package hs implements the Hochbaum–Shmoys bottleneck 2-approximation for
+// k-center (Mathematics of OR, 1985), the other classic sequential algorithm
+// the paper cites (§1.1) and names as the natural alternative sub-procedure
+// in its future-work section (§9: "it would be interesting to compare with
+// similar adaptations of alternative sequential algorithms, such as that of
+// Hochbaum & Shmoys").
+//
+// The algorithm searches the sorted set of pairwise distances for the
+// smallest threshold r at which a greedy maximal r-separated set has at most
+// k members. For any r ≥ OPT the greedy picks at most k centers (each lands
+// in a distinct optimal cluster), and every point is then within 2r of a
+// picked center; hence the smallest feasible threshold certifies a
+// 2-approximation.
+//
+// The search is O(n² log n) time and O(n²) candidate distances, so unlike
+// GON this method does not scale to the paper's largest inputs — which is
+// precisely why the paper builds its parallel algorithms on Gonzalez. The
+// package exists as the comparison baseline; ThresholdFeasible and the
+// binary search are exposed separately for reuse and testing.
+package hs
+
+import (
+	"math"
+	"sort"
+
+	"kcenter/internal/core"
+	"kcenter/internal/metric"
+)
+
+// Result mirrors core.Result for the HS algorithm.
+type Result struct {
+	Centers []int
+	Radius  float64
+	// Threshold is the certified bottleneck threshold r* (Radius <= 2·r*,
+	// and r* <= OPT).
+	Threshold float64
+	DistEvals int64
+}
+
+// Run executes the bottleneck search over all pairwise distances.
+func Run(ds *metric.Dataset, k int) *Result {
+	if k <= 0 {
+		panic("hs: k must be >= 1")
+	}
+	n := ds.N
+	if n == 0 {
+		panic("hs: empty dataset")
+	}
+	if k >= n {
+		centers := make([]int, n)
+		for i := range centers {
+			centers[i] = i
+		}
+		return &Result{Centers: centers, Radius: 0}
+	}
+
+	// Candidate thresholds: all pairwise distances (squared; monotone).
+	cand := make([]float64, 0, n*(n-1)/2)
+	var evals int64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			cand = append(cand, ds.SqDist(i, j))
+			evals++
+		}
+	}
+	sort.Float64s(cand)
+	// Dedupe to shrink the search space.
+	cand = uniqueSorted(cand)
+
+	// Binary search the smallest threshold whose greedy cover uses <= k
+	// centers. Feasibility is monotone in the threshold.
+	lo, hi := 0, len(cand)-1
+	bestCenters := []int(nil)
+	bestSq := math.Inf(1)
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		centers, e := greedySeparated(ds, cand[mid], k)
+		evals += e
+		if centers != nil {
+			bestCenters = centers
+			bestSq = cand[mid]
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if bestCenters == nil {
+		// Cannot happen: at the maximum pairwise distance one center covers
+		// everything. Defensive fallback.
+		bestCenters = []int{0}
+		bestSq = cand[len(cand)-1]
+	}
+	radius, e := core.CoveringRadius(ds, bestCenters)
+	evals += e
+	return &Result{
+		Centers:   bestCenters,
+		Radius:    radius,
+		Threshold: math.Sqrt(bestSq),
+		DistEvals: evals,
+	}
+}
+
+// greedySeparated greedily picks uncovered points as centers, covering
+// everything within 2r of each pick (squared threshold sqR). It returns nil
+// when more than k centers are needed.
+func greedySeparated(ds *metric.Dataset, sqR float64, k int) ([]int, int64) {
+	n := ds.N
+	covered := make([]bool, n)
+	centers := make([]int, 0, k)
+	var evals int64
+	// Covering radius 2r: squared threshold (2r)² = 4·r².
+	cover := 4 * sqR
+	for i := 0; i < n; i++ {
+		if covered[i] {
+			continue
+		}
+		if len(centers) == k {
+			return nil, evals // a (k+1)-th uncovered point exists
+		}
+		centers = append(centers, i)
+		pi := ds.At(i)
+		for j := i; j < n; j++ {
+			if covered[j] {
+				continue
+			}
+			evals++
+			if metric.SqDist(pi, ds.At(j)) <= cover {
+				covered[j] = true
+			}
+		}
+	}
+	return centers, evals
+}
+
+func uniqueSorted(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package hs
+
+import (
+	"testing"
+
+	"kcenter/internal/core"
+	"kcenter/internal/dataset"
+	"kcenter/internal/metric"
+	"kcenter/internal/rng"
+)
+
+func TestTwoApproxAgainstExact(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 40; trial++ {
+		n := 6 + r.Intn(8)
+		k := 1 + r.Intn(3)
+		ds := metric.NewDataset(n, 2)
+		for i := range ds.Data {
+			ds.Data[i] = r.Float64Range(-30, 30)
+		}
+		opt := core.ExactSmall(ds, k)
+		res := Run(ds, k)
+		if res.Radius > 2*opt.Radius+1e-9 {
+			t.Fatalf("trial %d: HS radius %v > 2·OPT = %v", trial, res.Radius, 2*opt.Radius)
+		}
+		// The certified threshold is a lower bound on OPT.
+		if res.Threshold > opt.Radius+1e-9 {
+			t.Fatalf("trial %d: threshold %v exceeds OPT %v", trial, res.Threshold, opt.Radius)
+		}
+		if len(res.Centers) > k {
+			t.Fatalf("trial %d: %d centers for k=%d", trial, len(res.Centers), k)
+		}
+	}
+}
+
+func TestRunKnownInstance(t *testing.T) {
+	// Two well-separated pairs; k=2 should cover each pair with radius 1.
+	ds, _ := metric.FromPoints([][]float64{{0}, {1}, {100}, {101}})
+	res := Run(ds, 2)
+	if res.Radius > 1+1e-12 {
+		t.Fatalf("radius %v, want <= 1", res.Radius)
+	}
+}
+
+func TestDegenerateCases(t *testing.T) {
+	ds, _ := metric.FromPoints([][]float64{{1}, {2}})
+	res := Run(ds, 5)
+	if res.Radius != 0 || len(res.Centers) != 2 {
+		t.Fatalf("%+v", res)
+	}
+	single, _ := metric.FromPoints([][]float64{{7}})
+	res = Run(single, 1)
+	if res.Radius != 0 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := make([][]float64, 8)
+	for i := range pts {
+		pts[i] = []float64{1, 2}
+	}
+	ds, _ := metric.FromPoints(pts)
+	res := Run(ds, 2)
+	if res.Radius != 0 {
+		t.Fatalf("radius %v on identical points", res.Radius)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	ds, _ := metric.FromPoints([][]float64{{1}})
+	for name, fn := range map[string]func(){
+		"k=0":   func() { Run(ds, 0) },
+		"empty": func() { Run(metric.NewDataset(0, 1), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestComparableToGonzalez(t *testing.T) {
+	// Both are 2-approximations; on clustered data both must isolate the
+	// clusters. HS often returns a slightly smaller radius because it
+	// certifies the bottleneck threshold.
+	l := dataset.Gau(dataset.GauConfig{N: 400, KPrime: 4, Seed: 2})
+	gon := core.Gonzalez(l.Points, 4, core.Options{})
+	hsr := Run(l.Points, 4)
+	if hsr.Radius > 2*gon.Radius+1e-9 {
+		t.Fatalf("HS radius %v wildly worse than GON %v", hsr.Radius, gon.Radius)
+	}
+	if hsr.Radius > 5 {
+		t.Fatalf("HS radius %v failed to separate clusters", hsr.Radius)
+	}
+}
+
+func TestGreedySeparatedMonotone(t *testing.T) {
+	// Feasibility must be monotone in the threshold — the property the
+	// binary search relies on.
+	r := rng.New(3)
+	ds := metric.NewDataset(60, 2)
+	for i := range ds.Data {
+		ds.Data[i] = r.Float64Range(0, 10)
+	}
+	const k = 3
+	prevFeasible := false
+	for _, sqR := range []float64{0.01, 0.1, 1, 4, 25, 100, 400} {
+		centers, _ := greedySeparated(ds, sqR, k)
+		feasible := centers != nil
+		if prevFeasible && !feasible {
+			t.Fatalf("feasibility not monotone at sqR=%v", sqR)
+		}
+		prevFeasible = feasible
+	}
+	if !prevFeasible {
+		t.Fatal("largest threshold should always be feasible")
+	}
+}
+
+func TestUniqueSorted(t *testing.T) {
+	got := uniqueSorted([]float64{1, 1, 2, 3, 3, 3, 4})
+	want := []float64{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%v", got)
+		}
+	}
+	if out := uniqueSorted(nil); len(out) != 0 {
+		t.Fatalf("%v", out)
+	}
+}
+
+func BenchmarkHS(b *testing.B) {
+	l := dataset.Unif(dataset.UnifConfig{N: 500, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(l.Points, 10)
+	}
+}

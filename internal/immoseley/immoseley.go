@@ -1,0 +1,210 @@
+// Package immoseley implements a parallel thresholding algorithm for
+// k-center in the spirit of Im & Moseley's SPAA 2015 brief announcement,
+// which the paper discusses in related and future work (§2.1, §9): a
+// constant-round MapReduce algorithm that assumes the optimal radius OPT is
+// known (or guessed), plus a search wrapper that removes the assumption.
+//
+// Im & Moseley announced a 3-round 2-approximation given OPT; as the paper
+// notes, "the details have yet to be outlined". We therefore implement the
+// natural threshold scheme with a provable — if weaker — guarantee, and
+// document the factor honestly:
+//
+//	Round 1: partition V among the machines; every machine computes a
+//	         maximal 2τ-separated subset of its partition (greedy scan).
+//	         When τ ≥ OPT, a machine retains at most k points, because
+//	         points pairwise > 2τ ≥ 2·OPT apart lie in distinct optimal
+//	         clusters.
+//	Round 2: the union (≤ k·m points) goes to one machine, which computes a
+//	         maximal 2τ-separated subset T of the union. |T| ≤ k again, and
+//	         chaining the maximality bounds gives every input point a
+//	         center within 2τ + 2τ = 4τ.
+//
+// So RunWithThreshold(τ) is feasible for every τ ≥ OPT and then certifies a
+// covering radius ≤ 4τ; conversely a run with |T| > k certifies τ < OPT.
+// Search wraps this in a geometric search over [GON/2·(1), GON] — using
+// Gonzalez's 2-approximation to bracket OPT — achieving a 4(1+ε)
+// approximation in 2·O(log(2)/log(1+ε)) rounds, with no prior knowledge.
+package immoseley
+
+import (
+	"fmt"
+	"math"
+
+	"kcenter/internal/assign"
+	"kcenter/internal/core"
+	"kcenter/internal/mapreduce"
+	"kcenter/internal/metric"
+)
+
+// Result describes one thresholded run.
+type Result struct {
+	// Centers holds dataset indices (present only when Feasible).
+	Centers []int
+	// Radius is the covering radius over the full dataset (when Feasible).
+	Radius float64
+	// Tau is the threshold used.
+	Tau float64
+	// Feasible reports whether the run retained at most k centers. An
+	// infeasible run certifies Tau < OPT.
+	Feasible bool
+	// Rounds is the number of MapReduce rounds executed.
+	Rounds int
+	// Stats exposes simulated per-round cost.
+	Stats *mapreduce.JobStats
+}
+
+// RunWithThreshold executes the two-round scheme at threshold tau.
+func RunWithThreshold(ds *metric.Dataset, k int, tau float64, cluster mapreduce.Config) (*Result, error) {
+	if ds == nil || ds.N == 0 {
+		return nil, fmt.Errorf("immoseley: empty dataset")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("immoseley: k must be >= 1, got %d", k)
+	}
+	if tau < 0 || math.IsNaN(tau) {
+		return nil, fmt.Errorf("immoseley: tau must be non-negative, got %v", tau)
+	}
+	if cluster.Machines <= 0 {
+		cluster.Machines = 50
+	}
+	engine, err := mapreduce.NewEngine(cluster)
+	if err != nil {
+		return nil, err
+	}
+	m := engine.Config().Machines
+	sepSq := 4 * tau * tau // (2τ)²
+
+	// Round 1: per-machine maximal 2τ-separated subsets. A machine may stop
+	// early once it exceeds k retained points — that already certifies
+	// infeasibility — but it must still report, so we retain up to k+1.
+	parts := mapreduce.Partition(ds.N, m)
+	retained := make([][]int, len(parts))
+	tasks := make([]mapreduce.Task, len(parts))
+	for i, part := range parts {
+		i, part := i, part
+		tasks[i] = func(ops *mapreduce.OpCounter) error {
+			sep, evals := maximalSeparated(ds, part, sepSq, k+1)
+			ops.Add(evals)
+			retained[i] = sep
+			return nil
+		}
+	}
+	if _, err := engine.Run("im-threshold-local", tasks); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Tau: tau, Stats: engine.Stats()}
+	var union []int
+	for _, r := range retained {
+		if len(r) > k {
+			// Early certificate: some partition alone needs > k centers at
+			// separation 2τ, so τ < OPT. No second round required.
+			res.Rounds = 1
+			return res, nil
+		}
+		union = append(union, r...)
+	}
+
+	// Round 2: maximal 2τ-separated subset of the union on one machine.
+	if err := engine.CheckCapacity(len(union)); err != nil {
+		return nil, err
+	}
+	var centers []int
+	finalTask := func(ops *mapreduce.OpCounter) error {
+		sep, evals := maximalSeparated(ds, union, sepSq, k+1)
+		ops.Add(evals)
+		centers = sep
+		return nil
+	}
+	if _, err := engine.Run("im-threshold-merge", []mapreduce.Task{finalTask}); err != nil {
+		return nil, err
+	}
+	res.Rounds = 2
+	if len(centers) > k {
+		return res, nil // infeasible: τ < OPT
+	}
+	res.Feasible = true
+	res.Centers = centers
+	res.Radius = assign.Radius(ds, centers)
+	return res, nil
+}
+
+// maximalSeparated greedily scans idx retaining points farther than the
+// squared separation from everything retained so far, stopping after
+// maxKeep retentions (enough to certify infeasibility).
+func maximalSeparated(ds *metric.Dataset, idx []int, sepSq float64, maxKeep int) ([]int, int64) {
+	var kept []int
+	var evals int64
+	for _, p := range idx {
+		pp := ds.At(p)
+		separated := true
+		for _, q := range kept {
+			evals++
+			if metric.SqDist(pp, ds.At(q)) <= sepSq {
+				separated = false
+				break
+			}
+		}
+		if separated {
+			kept = append(kept, p)
+			if len(kept) >= maxKeep {
+				break
+			}
+		}
+	}
+	return kept, evals
+}
+
+// SearchConfig parameterizes the OPT-guessing wrapper.
+type SearchConfig struct {
+	K int
+	// Epsilon is the geometric step of the threshold search; the result is a
+	// 4(1+ε)-approximation. 0 means 0.1.
+	Epsilon float64
+	// Cluster describes the simulated MapReduce cluster.
+	Cluster mapreduce.Config
+}
+
+// Search removes the known-OPT assumption: Gonzalez's radius g brackets
+// OPT ∈ [g/2, g], and a geometric sweep finds the smallest feasible
+// threshold within a (1+ε) factor.
+func Search(ds *metric.Dataset, cfg SearchConfig) (*Result, error) {
+	if ds == nil || ds.N == 0 {
+		return nil, fmt.Errorf("immoseley: empty dataset")
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("immoseley: k must be >= 1, got %d", cfg.K)
+	}
+	eps := cfg.Epsilon
+	if eps <= 0 {
+		eps = 0.1
+	}
+	g := core.Gonzalez(ds, cfg.K, core.Options{First: 0})
+	if g.Radius == 0 {
+		// Perfectly coverable with k centers.
+		return &Result{Centers: g.Centers, Feasible: true, Rounds: 0}, nil
+	}
+	// OPT ∈ [g/2, g]: sweep thresholds geometrically from below.
+	var last *Result
+	totalRounds := 0
+	for tau := g.Radius / 2; ; tau *= 1 + eps {
+		if tau > g.Radius {
+			tau = g.Radius
+		}
+		res, err := RunWithThreshold(ds, cfg.K, tau, cfg.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		totalRounds += res.Rounds
+		if res.Feasible {
+			res.Rounds = totalRounds
+			return res, nil
+		}
+		last = res
+		if tau == g.Radius {
+			break
+		}
+	}
+	// τ = GON radius ≥ OPT must be feasible; reaching here is a bug.
+	return last, fmt.Errorf("immoseley: search failed to find a feasible threshold (bug)")
+}

@@ -1,0 +1,183 @@
+package immoseley
+
+import (
+	"testing"
+
+	"kcenter/internal/core"
+	"kcenter/internal/dataset"
+	"kcenter/internal/mapreduce"
+	"kcenter/internal/metric"
+	"kcenter/internal/rng"
+)
+
+func TestFeasibleAtOPTAndFourApprox(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 30; trial++ {
+		n := 8 + r.Intn(6)
+		k := 1 + r.Intn(3)
+		ds := metric.NewDataset(n, 2)
+		for i := range ds.Data {
+			ds.Data[i] = r.Float64Range(-25, 25)
+		}
+		opt := core.ExactSmall(ds, k)
+		if opt.Radius == 0 {
+			continue
+		}
+		res, err := RunWithThreshold(ds, k, opt.Radius, mapreduce.Config{Machines: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible {
+			t.Fatalf("trial %d: infeasible at tau = OPT = %v", trial, opt.Radius)
+		}
+		if res.Radius > 4*opt.Radius+1e-9 {
+			t.Fatalf("trial %d: radius %v > 4·tau = %v", trial, res.Radius, 4*opt.Radius)
+		}
+		if len(res.Centers) > k {
+			t.Fatalf("trial %d: %d centers", trial, len(res.Centers))
+		}
+	}
+}
+
+func TestInfeasibleBelowSeparation(t *testing.T) {
+	// Four well-separated points, k=2: any tau below half the minimum
+	// pairwise separation keeps all four points 2tau-separated, so the run
+	// must report infeasible (certifying tau < OPT).
+	ds, _ := metric.FromPoints([][]float64{{0, 0}, {10, 0}, {0, 10}, {10, 10}})
+	res, err := RunWithThreshold(ds, 2, 1, mapreduce.Config{Machines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatalf("tau=1 should be infeasible for k=2 on a 10-spaced square (got radius %v)", res.Radius)
+	}
+}
+
+func TestEarlyCertificateSingleRound(t *testing.T) {
+	// All points on one machine, pairwise far apart: round 1 alone certifies
+	// infeasibility.
+	ds, _ := metric.FromPoints([][]float64{{0}, {100}, {200}, {300}, {400}})
+	res, err := RunWithThreshold(ds, 2, 0.5, mapreduce.Config{Machines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible || res.Rounds != 1 {
+		t.Fatalf("expected 1-round infeasibility certificate, got %+v", res)
+	}
+}
+
+func TestSearchFindsGoodSolution(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 15; trial++ {
+		n := 8 + r.Intn(6)
+		k := 1 + r.Intn(3)
+		ds := metric.NewDataset(n, 2)
+		for i := range ds.Data {
+			ds.Data[i] = r.Float64Range(-25, 25)
+		}
+		opt := core.ExactSmall(ds, k)
+		res, err := Search(ds, SearchConfig{K: k, Cluster: mapreduce.Config{Machines: 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Feasible {
+			t.Fatalf("trial %d: search returned infeasible", trial)
+		}
+		// 4(1+eps)·OPT with eps = 0.1.
+		if res.Radius > 4.4*opt.Radius+1e-9 {
+			t.Fatalf("trial %d: radius %v > 4.4·OPT = %v", trial, res.Radius, 4.4*opt.Radius)
+		}
+	}
+}
+
+func TestSearchOnClusteredData(t *testing.T) {
+	l := dataset.Gau(dataset.GauConfig{N: 10000, KPrime: 6, Seed: 3})
+	res, err := Search(l.Points, SearchConfig{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Radius > 10 {
+		t.Fatalf("search radius %v on tight clusters", res.Radius)
+	}
+}
+
+func TestSearchDegenerate(t *testing.T) {
+	// k >= distinct points: Gonzalez covers exactly, Search short-circuits.
+	ds, _ := metric.FromPoints([][]float64{{1}, {1}, {1}})
+	res, err := Search(ds, SearchConfig{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Radius != 0 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ds, _ := metric.FromPoints([][]float64{{1}, {2}})
+	if _, err := RunWithThreshold(nil, 1, 1, mapreduce.Config{}); err == nil {
+		t.Fatal("nil dataset should fail")
+	}
+	if _, err := RunWithThreshold(ds, 0, 1, mapreduce.Config{}); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := RunWithThreshold(ds, 1, -1, mapreduce.Config{}); err == nil {
+		t.Fatal("negative tau should fail")
+	}
+	if _, err := Search(nil, SearchConfig{K: 1}); err == nil {
+		t.Fatal("nil dataset should fail")
+	}
+	if _, err := Search(ds, SearchConfig{K: 0}); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+}
+
+func TestMaximalSeparatedProperties(t *testing.T) {
+	r := rng.New(4)
+	ds := metric.NewDataset(200, 2)
+	for i := range ds.Data {
+		ds.Data[i] = r.Float64Range(0, 10)
+	}
+	idx := make([]int, ds.N)
+	for i := range idx {
+		idx[i] = i
+	}
+	const sep = 2.0
+	kept, _ := maximalSeparated(ds, idx, sep*sep, 1<<30)
+	// Pairwise separation.
+	for i := 0; i < len(kept); i++ {
+		for j := i + 1; j < len(kept); j++ {
+			if ds.SqDist(kept[i], kept[j]) <= sep*sep {
+				t.Fatalf("kept points %d,%d too close", kept[i], kept[j])
+			}
+		}
+	}
+	// Maximality: every point within sep of a kept point.
+	for _, p := range idx {
+		ok := false
+		for _, q := range kept {
+			if ds.SqDist(p, q) <= sep*sep {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("point %d not dominated; set not maximal", p)
+		}
+	}
+	// maxKeep respected.
+	few, _ := maximalSeparated(ds, idx, 0.0001, 3)
+	if len(few) != 3 {
+		t.Fatalf("maxKeep ignored: %d", len(few))
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	l := dataset.Gau(dataset.GauConfig{N: 20000, KPrime: 10, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Search(l.Points, SearchConfig{K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

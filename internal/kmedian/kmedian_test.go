@@ -1,0 +1,223 @@
+package kmedian
+
+import (
+	"math"
+	"testing"
+
+	"kcenter/internal/core"
+	"kcenter/internal/dataset"
+	"kcenter/internal/mapreduce"
+	"kcenter/internal/metric"
+	"kcenter/internal/rng"
+)
+
+func TestCostKnownInstance(t *testing.T) {
+	ds, _ := metric.FromPoints([][]float64{{0}, {1}, {2}, {10}})
+	// Center {1}: cost 1 + 0 + 1 + 9 = 11.
+	if got := Cost(ds, []int{1}); math.Abs(got-11) > 1e-12 {
+		t.Fatalf("cost %v, want 11", got)
+	}
+	// Centers {1, 10}: cost 1 + 0 + 1 + 0 = 2.
+	if got := Cost(ds, []int{1, 3}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("cost %v, want 2", got)
+	}
+}
+
+func TestLocalSearchFiveApproxAgainstExact(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 30; trial++ {
+		n := 8 + r.Intn(6)
+		k := 1 + r.Intn(3)
+		ds := metric.NewDataset(n, 2)
+		for i := range ds.Data {
+			ds.Data[i] = r.Float64Range(-30, 30)
+		}
+		opt := ExactSmall(ds, k)
+		res, err := LocalSearch(ds, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost > 5*opt+1e-9 {
+			t.Fatalf("trial %d: local search cost %v > 5·OPT = %v", trial, res.Cost, 5*opt)
+		}
+		// In practice local search lands much closer; flag egregious cases.
+		if opt > 0 && res.Cost > 2*opt+1e-9 {
+			t.Logf("trial %d: cost %v vs OPT %v (ratio %.2f)", trial, res.Cost, opt, res.Cost/opt)
+		}
+	}
+}
+
+func TestLocalSearchImprovesOnSeed(t *testing.T) {
+	// Gonzalez seeds favour extreme points — bad for k-median. Local search
+	// must strictly improve the summed cost on skewed data.
+	r := rng.New(2)
+	ds := metric.NewDataset(400, 2)
+	for i := 0; i < 390; i++ {
+		ds.At(i)[0] = r.NormFloat64()
+		ds.At(i)[1] = r.NormFloat64()
+	}
+	for i := 390; i < 400; i++ {
+		ds.At(i)[0] = 100 + r.Float64()
+		ds.At(i)[1] = 100 + r.Float64()
+	}
+	seed := core.Gonzalez(ds, 3, core.Options{First: 0})
+	seedCost := Cost(ds, seed.Centers)
+	res, err := LocalSearch(ds, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > seedCost {
+		t.Fatalf("local search cost %v worse than its own seed %v", res.Cost, seedCost)
+	}
+	if res.Swaps == 0 {
+		t.Fatal("expected at least one improving swap on skewed data")
+	}
+}
+
+func TestLocalSearchRobustToOutliersUnlikeKCenter(t *testing.T) {
+	// The §8.1 story: k-center chases outliers, k-median does not — provided
+	// the outliers' total removal cost stays below the cost of merging two
+	// clusters (a far-enough outlier group legitimately earns a median).
+	// One outlier ~1,300 away versus ~500-point clusters: k-center burns a
+	// center on it, k-median must not.
+	l := dataset.Gau(dataset.GauConfig{N: 2000, KPrime: 4, Seed: 3})
+	ds := l.Points
+	ds.Append([]float64{1000, 1000})
+	gon := core.Gonzalez(ds, 4, core.Options{First: 0})
+	centeredOutlier := false
+	for _, c := range gon.Centers {
+		if ds.At(c)[0] > 500 {
+			centeredOutlier = true
+		}
+	}
+	if !centeredOutlier {
+		t.Fatal("test setup: GON should have chased the outlier")
+	}
+	res, err := LocalSearch(ds, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Centers {
+		if ds.At(c)[0] > 500 {
+			t.Fatalf("a median landed on the outlier: %v", ds.At(c))
+		}
+	}
+}
+
+func TestLocalSearchCandidateSampling(t *testing.T) {
+	l := dataset.Gau(dataset.GauConfig{N: 3000, KPrime: 5, Seed: 4})
+	full, err := LocalSearch(l.Points, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := LocalSearch(l.Points, 5, Options{CandidateSample: 200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampling trades quality for speed but must stay in the same regime.
+	if sampled.Cost > 2*full.Cost {
+		t.Fatalf("sampled search cost %v vs full %v", sampled.Cost, full.Cost)
+	}
+}
+
+func TestLocalSearchValidation(t *testing.T) {
+	if _, err := LocalSearch(nil, 1, Options{}); err == nil {
+		t.Fatal("nil dataset should fail")
+	}
+	ds, _ := metric.FromPoints([][]float64{{1}})
+	if _, err := LocalSearch(ds, 0, Options{}); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+}
+
+func TestLocalSearchDegenerate(t *testing.T) {
+	ds, _ := metric.FromPoints([][]float64{{1}, {1}, {1}})
+	res, err := LocalSearch(ds, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 {
+		t.Fatalf("cost %v on identical points", res.Cost)
+	}
+}
+
+func TestDistributedComposition(t *testing.T) {
+	l := dataset.Gau(dataset.GauConfig{N: 10000, KPrime: 6, Seed: 5})
+	res, err := Distributed(l.Points, DistributedConfig{
+		K:       6,
+		Cluster: mapreduce.Config{Machines: 10},
+		Local:   Options{CandidateSample: 150},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 2 || res.Stats.NumRounds() != 2 {
+		t.Fatalf("rounds %d", res.Rounds)
+	}
+	// On 6 tight clusters (sigma 0.1) the per-point cost should be ~0.1, so
+	// total ~1000; anything near the inter-cluster scale (100) per point
+	// means a cluster was missed.
+	seq, err := LocalSearch(l.Points, 6, Options{CandidateSample: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 5*seq.Cost {
+		t.Fatalf("distributed cost %v vs sequential %v", res.Cost, seq.Cost)
+	}
+}
+
+func TestDistributedValidation(t *testing.T) {
+	if _, err := Distributed(nil, DistributedConfig{K: 1}); err == nil {
+		t.Fatal("nil dataset should fail")
+	}
+	ds, _ := metric.FromPoints([][]float64{{1}})
+	if _, err := Distributed(ds, DistributedConfig{K: 0}); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+}
+
+func TestExactSmallKnownInstance(t *testing.T) {
+	ds, _ := metric.FromPoints([][]float64{{0}, {1}, {2}, {10}, {11}})
+	// k=2: centers {1, 10 or 11}: cost (1+0+1) + (0+1) = 3.
+	if got := ExactSmall(ds, 2); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("exact cost %v, want 3", got)
+	}
+	if got := ExactSmall(ds, 5); got != 0 {
+		t.Fatalf("k>=n cost %v", got)
+	}
+}
+
+func TestWeightedLocalSearchUsesWeights(t *testing.T) {
+	// Heavy point far from a light cluster: with k=1 the median must sit on
+	// the heavy point once its weight dominates.
+	ds, _ := metric.FromPoints([][]float64{{0}, {0.5}, {100}})
+	centers, cost, _ := weightedLocalSearch(ds, []int{0, 1, 2}, []float64{1, 1, 1000}, 1, Options{})
+	if centers[0] != 2 {
+		t.Fatalf("median at %d (cost %v), want the weight-1000 point", centers[0], cost)
+	}
+}
+
+func BenchmarkLocalSearch(b *testing.B) {
+	l := dataset.Gau(dataset.GauConfig{N: 5000, KPrime: 10, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LocalSearch(l.Points, 10, Options{CandidateSample: 200, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributedKMedian(b *testing.B) {
+	l := dataset.Gau(dataset.GauConfig{N: 20000, KPrime: 10, Seed: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := Distributed(l.Points, DistributedConfig{
+			K:       10,
+			Cluster: mapreduce.Config{Machines: 20},
+			Local:   Options{CandidateSample: 100, Seed: uint64(i)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Package outliers implements k-center clustering with outliers — the
+// robust variant behind Malkomes, Kusner, Chen, Weinberger & Moseley, "Fast
+// Distributed k-Center Clustering with Outliers on Massive Data" (NIPS
+// 2015), which the paper cites as the contemporaneous 2-round approach and
+// discusses in its related and future work (§2.1, §9).
+//
+// The (k, z)-center problem allows z points to be discarded: find k centers
+// minimizing the covering radius of the remaining n−z points. Ene et al.'s
+// experiments (and the paper's §8.1 discussion) show plain k-center is
+// hypersensitive to outliers, which is exactly what this variant repairs.
+//
+// Two algorithms are provided:
+//
+//   - Greedy: the sequential 3-approximation of Charikar, Khuller, Mount &
+//     Narasimhan (SODA 2001). For a guessed radius r, repeatedly pick the
+//     (weighted) point whose r-disk covers the most uncovered weight and
+//     remove everything within 3r; the guess is feasible when at most z
+//     weight remains. Binary search over candidate radii yields the smallest
+//     feasible guess.
+//
+//   - Distributed: the Malkomes et al. two-round scheme on the simulated
+//     MapReduce engine. Round 1 partitions the input; every machine runs GON
+//     with k+z+1 centers on its partition and weights each center by the
+//     number of partition points assigned to it. Round 2 runs the weighted
+//     sequential greedy on the union of weighted centers. Malkomes et al.
+//     prove a constant (13-) approximation for this composition.
+package outliers
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kcenter/internal/assign"
+	"kcenter/internal/core"
+	"kcenter/internal/mapreduce"
+	"kcenter/internal/metric"
+)
+
+// Result describes a robust k-center solution.
+type Result struct {
+	// Centers holds dataset indices of the chosen centers.
+	Centers []int
+	// Radius is the covering radius over the n−z covered points.
+	Radius float64
+	// Outliers holds the indices of the points treated as outliers (the z
+	// points farthest from the chosen centers).
+	Outliers []int
+	// Rounds is the number of MapReduce rounds (0 for the sequential greedy).
+	Rounds int
+	// Stats exposes per-round simulated cost for the distributed variant.
+	Stats *mapreduce.JobStats
+}
+
+// Greedy runs the sequential Charikar et al. 3-approximation for (k, z)-
+// center on uniformly weighted points. It is O(n² log n); use Distributed
+// for large inputs.
+func Greedy(ds *metric.Dataset, k, z int) (*Result, error) {
+	if err := validate(ds, k, z); err != nil {
+		return nil, err
+	}
+	idx := make([]int, ds.N)
+	w := make([]float64, ds.N)
+	for i := range idx {
+		idx[i] = i
+		w[i] = 1
+	}
+	centers, err := weightedGreedySearch(ds, idx, w, k, float64(z))
+	if err != nil {
+		return nil, err
+	}
+	res := finalize(ds, centers, z)
+	return res, nil
+}
+
+// DistributedConfig parameterizes the two-round distributed variant.
+type DistributedConfig struct {
+	K int // centers
+	Z int // outliers tolerated
+	// Cluster describes the simulated MapReduce cluster (default 50
+	// machines, as in the paper's experiments).
+	Cluster mapreduce.Config
+}
+
+// Distributed runs the Malkomes et al. two-round (k, z)-center scheme.
+func Distributed(ds *metric.Dataset, cfg DistributedConfig) (*Result, error) {
+	if err := validate(ds, cfg.K, cfg.Z); err != nil {
+		return nil, err
+	}
+	if cfg.Cluster.Machines <= 0 {
+		cfg.Cluster.Machines = 50
+	}
+	engine, err := mapreduce.NewEngine(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	m := engine.Config().Machines
+	perMachine := cfg.K + cfg.Z + 1
+
+	// Round 1: each machine summarizes its partition with k+z+1 GON centers
+	// weighted by assignment counts.
+	parts := mapreduce.Partition(ds.N, m)
+	type summary struct {
+		centers []int
+		weights []float64
+	}
+	summaries := make([]summary, len(parts))
+	tasks := make([]mapreduce.Task, len(parts))
+	for i, part := range parts {
+		i, part := i, part
+		tasks[i] = func(ops *mapreduce.OpCounter) error {
+			g := core.GonzalezSubset(ds, part, perMachine, core.Options{First: 0})
+			ops.Add(g.DistEvals)
+			// Weight each local center by how many partition points it
+			// represents.
+			w := make([]float64, len(g.Centers))
+			for _, p := range part {
+				best, bestC := math.Inf(1), 0
+				for c, ci := range g.Centers {
+					if sq := ds.SqDist(p, ci); sq < best {
+						best = sq
+						bestC = c
+					}
+				}
+				w[bestC]++
+			}
+			ops.Add(int64(len(part)) * int64(len(g.Centers)))
+			summaries[i] = summary{centers: g.Centers, weights: w}
+			return nil
+		}
+	}
+	if _, err := engine.Run("outliers-summarize", tasks); err != nil {
+		return nil, err
+	}
+
+	var unionIdx []int
+	var unionW []float64
+	for _, s := range summaries {
+		unionIdx = append(unionIdx, s.centers...)
+		unionW = append(unionW, s.weights...)
+	}
+
+	// Round 2: weighted robust greedy on the union, on one machine.
+	if err := engine.CheckCapacity(len(unionIdx)); err != nil {
+		return nil, err
+	}
+	var centers []int
+	finalTask := func(ops *mapreduce.OpCounter) error {
+		var err error
+		centers, err = weightedGreedySearch(ds, unionIdx, unionW, cfg.K, float64(cfg.Z))
+		ops.Add(int64(len(unionIdx)) * int64(len(unionIdx)))
+		return err
+	}
+	if _, err := engine.Run("outliers-greedy", []mapreduce.Task{finalTask}); err != nil {
+		return nil, err
+	}
+
+	res := finalize(ds, centers, cfg.Z)
+	res.Rounds = 2
+	res.Stats = engine.Stats()
+	return res, nil
+}
+
+// weightedGreedySearch binary-searches candidate radii (pairwise distances
+// among the candidate points) for the smallest guess at which the weighted
+// greedy leaves at most zWeight uncovered, returning that greedy's centers.
+func weightedGreedySearch(ds *metric.Dataset, idx []int, w []float64, k int, zWeight float64) ([]int, error) {
+	u := len(idx)
+	if u == 0 {
+		return nil, fmt.Errorf("outliers: no candidate points")
+	}
+	// Candidate squared radii: pairwise distances plus zero.
+	cand := make([]float64, 0, u*(u-1)/2+1)
+	cand = append(cand, 0)
+	for i := 0; i < u; i++ {
+		for j := i + 1; j < u; j++ {
+			cand = append(cand, ds.SqDist(idx[i], idx[j]))
+		}
+	}
+	sort.Float64s(cand)
+	cand = uniqueSorted(cand)
+
+	lo, hi := 0, len(cand)-1
+	var best []int
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		centers, ok := weightedGreedy(ds, idx, w, k, zWeight, cand[mid])
+		if ok {
+			best = centers
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best == nil {
+		// Even the diameter guess failed — impossible since one disk of the
+		// largest pairwise distance covers every candidate; guard anyway.
+		return nil, fmt.Errorf("outliers: no feasible radius found")
+	}
+	return best, nil
+}
+
+// weightedGreedy runs one Charikar-style pass at squared radius sqR: k times
+// pick the candidate covering the most uncovered weight within r, discard
+// everything within 3r. Reports whether the uncovered weight is <= zWeight.
+func weightedGreedy(ds *metric.Dataset, idx []int, w []float64, k int, zWeight, sqR float64) ([]int, bool) {
+	u := len(idx)
+	covered := make([]bool, u)
+	centers := make([]int, 0, k)
+	sq3R := 9 * sqR
+	for pick := 0; pick < k; pick++ {
+		// Choose the candidate whose r-disk covers the most uncovered weight.
+		bestGain, bestI := -1.0, -1
+		for i := 0; i < u; i++ {
+			gain := 0.0
+			pi := ds.At(idx[i])
+			for j := 0; j < u; j++ {
+				if covered[j] {
+					continue
+				}
+				if metric.SqDist(pi, ds.At(idx[j])) <= sqR {
+					gain += w[j]
+				}
+			}
+			if gain > bestGain {
+				bestGain = gain
+				bestI = i
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		centers = append(centers, idx[bestI])
+		pb := ds.At(idx[bestI])
+		for j := 0; j < u; j++ {
+			if !covered[j] && metric.SqDist(pb, ds.At(idx[j])) <= sq3R {
+				covered[j] = true
+			}
+		}
+	}
+	uncovered := 0.0
+	for j := 0; j < u; j++ {
+		if !covered[j] {
+			uncovered += w[j]
+		}
+	}
+	return centers, uncovered <= zWeight
+}
+
+// finalize computes the robust radius: assign all points, mark the z
+// farthest as outliers, report the max distance among the rest.
+func finalize(ds *metric.Dataset, centers []int, z int) *Result {
+	ev := assign.Evaluate(ds, centers, 0)
+	order := make([]int, ds.N)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ev.Dist[order[a]] > ev.Dist[order[b]] })
+	if z > ds.N {
+		z = ds.N
+	}
+	out := &Result{Centers: centers, Outliers: append([]int(nil), order[:z]...)}
+	if z < ds.N {
+		out.Radius = ev.Dist[order[z]]
+	}
+	return out
+}
+
+func validate(ds *metric.Dataset, k, z int) error {
+	if ds == nil || ds.N == 0 {
+		return fmt.Errorf("outliers: empty dataset")
+	}
+	if k <= 0 {
+		return fmt.Errorf("outliers: k must be >= 1, got %d", k)
+	}
+	if z < 0 {
+		return fmt.Errorf("outliers: z must be >= 0, got %d", z)
+	}
+	if k+z >= ds.N {
+		return fmt.Errorf("outliers: k+z = %d must be below n = %d", k+z, ds.N)
+	}
+	return nil
+}
+
+func uniqueSorted(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ExactSmallOutliers computes the optimal (k, z)-center radius by exhaustive
+// search — the test oracle for tiny instances (exponential in k).
+func ExactSmallOutliers(ds *metric.Dataset, k, z int) float64 {
+	n := ds.N
+	if n == 0 || k <= 0 || k >= n {
+		return 0
+	}
+	best := math.Inf(1)
+	cur := make([]int, k)
+	dists := make([]float64, n)
+	var recurse func(start, depth int)
+	recurse = func(start, depth int) {
+		if depth == k {
+			for p := 0; p < n; p++ {
+				near := math.Inf(1)
+				for _, c := range cur {
+					if sq := ds.SqDist(p, c); sq < near {
+						near = sq
+					}
+				}
+				dists[p] = near
+			}
+			tmp := append([]float64(nil), dists...)
+			sort.Float64s(tmp)
+			// Discard the z largest; radius is the (z+1)-th largest.
+			r := tmp[n-1-z]
+			if r < best {
+				best = r
+			}
+			return
+		}
+		for c := start; c <= n-(k-depth); c++ {
+			cur[depth] = c
+			recurse(c+1, depth+1)
+		}
+	}
+	recurse(0, 0)
+	return math.Sqrt(best)
+}

@@ -1,0 +1,185 @@
+package outliers
+
+import (
+	"testing"
+
+	"kcenter/internal/core"
+	"kcenter/internal/dataset"
+	"kcenter/internal/mapreduce"
+	"kcenter/internal/metric"
+	"kcenter/internal/rng"
+)
+
+// plantOutliers returns a clustered dataset with nOut extreme points
+// appended, plus the cluster-scale radius for comparison.
+func plantOutliers(n, kPrime, nOut int, seed uint64) *metric.Dataset {
+	l := dataset.Gau(dataset.GauConfig{N: n, KPrime: kPrime, Seed: seed})
+	ds := l.Points
+	r := rng.New(seed + 1)
+	for i := 0; i < nOut; i++ {
+		ds.Append([]float64{10000 + r.Float64()*1000, 10000 + r.Float64()*1000})
+	}
+	return ds
+}
+
+func TestGreedyIgnoresPlantedOutliers(t *testing.T) {
+	const nOut = 5
+	ds := plantOutliers(800, 4, nOut, 2)
+	robust, err := Greedy(ds, 4, nOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain GON is wrecked by the planted outliers: farthest-first spends
+	// centers on them, leaving whole clusters uncovered (radius ~ the
+	// inter-cluster spacing instead of the ~1 cluster radius).
+	gon := core.Gonzalez(ds, 4, core.Options{})
+	if gon.Radius < 50 {
+		t.Fatalf("planted outliers failed to wreck plain GON (radius %v)", gon.Radius)
+	}
+	// ...while the robust greedy shrugs them off.
+	if robust.Radius > 10 {
+		t.Fatalf("robust radius %v; outliers not excluded", robust.Radius)
+	}
+	if len(robust.Outliers) != nOut {
+		t.Fatalf("%d outliers reported, want %d", len(robust.Outliers), nOut)
+	}
+	// The reported outliers must be the planted extreme points.
+	for _, o := range robust.Outliers {
+		if ds.At(o)[0] < 5000 {
+			t.Fatalf("reported outlier %d is a regular point %v", o, ds.At(o))
+		}
+	}
+}
+
+func TestGreedyThreeApproxAgainstExact(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 25; trial++ {
+		n := 8 + r.Intn(5)
+		k := 1 + r.Intn(2)
+		z := r.Intn(3)
+		if k+z >= n {
+			continue
+		}
+		ds := metric.NewDataset(n, 2)
+		for i := range ds.Data {
+			ds.Data[i] = r.Float64Range(-30, 30)
+		}
+		opt := ExactSmallOutliers(ds, k, z)
+		res, err := Greedy(ds, k, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Radius > 3*opt+1e-9 {
+			t.Fatalf("trial %d (n=%d k=%d z=%d): greedy radius %v > 3·OPT = %v",
+				trial, n, k, z, res.Radius, 3*opt)
+		}
+	}
+}
+
+func TestGreedyZeroOutliersStillWorks(t *testing.T) {
+	l := dataset.Gau(dataset.GauConfig{N: 300, KPrime: 3, Seed: 4})
+	res, err := Greedy(l.Points, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outliers) != 0 {
+		t.Fatalf("z=0 but %d outliers", len(res.Outliers))
+	}
+	if res.Radius > 10 {
+		t.Fatalf("radius %v", res.Radius)
+	}
+}
+
+func TestDistributedIgnoresPlantedOutliers(t *testing.T) {
+	const nOut = 10
+	ds := plantOutliers(8000, 5, nOut, 5)
+	res, err := Distributed(ds, DistributedConfig{K: 5, Z: nOut,
+		Cluster: mapreduce.Config{Machines: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Radius > 20 {
+		t.Fatalf("distributed robust radius %v; outliers not excluded", res.Radius)
+	}
+	if res.Rounds != 2 {
+		t.Fatalf("rounds %d, want 2", res.Rounds)
+	}
+	if res.Stats == nil || res.Stats.NumRounds() != 2 {
+		t.Fatal("missing engine stats")
+	}
+}
+
+func TestDistributedMatchesGreedyShape(t *testing.T) {
+	// Same instance: the distributed constant-factor result should be within
+	// a small factor of the sequential 3-approximation.
+	ds := plantOutliers(2000, 4, 6, 6)
+	seq, err := Greedy(ds, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := Distributed(ds, DistributedConfig{K: 4, Z: 6,
+		Cluster: mapreduce.Config{Machines: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Radius > 13*seq.Radius/3+1e-9 && dist.Radius > 20 {
+		t.Fatalf("distributed radius %v vastly worse than sequential %v", dist.Radius, seq.Radius)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	l := dataset.Unif(dataset.UnifConfig{N: 50, Seed: 7})
+	if _, err := Greedy(nil, 1, 0); err == nil {
+		t.Fatal("nil dataset should fail")
+	}
+	if _, err := Greedy(l.Points, 0, 0); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := Greedy(l.Points, 1, -1); err == nil {
+		t.Fatal("negative z should fail")
+	}
+	if _, err := Greedy(l.Points, 30, 30); err == nil {
+		t.Fatal("k+z >= n should fail")
+	}
+	if _, err := Distributed(l.Points, DistributedConfig{K: 0, Z: 0}); err == nil {
+		t.Fatal("distributed k=0 should fail")
+	}
+}
+
+func TestExactSmallOutliersKnownInstance(t *testing.T) {
+	// Line {0,1,2,100}: k=1, z=1 discards 100; best center 1 covers {0,1,2}
+	// within 1.
+	ds, _ := metric.FromPoints([][]float64{{0}, {1}, {2}, {100}})
+	if got := ExactSmallOutliers(ds, 1, 1); got != 1 {
+		t.Fatalf("exact (1,1)-center = %v, want 1", got)
+	}
+	// z=0 falls back to plain k-center: center 1 covers within 98... center
+	// 1 -> max dist 99; best is center 2 with 98.
+	if got := ExactSmallOutliers(ds, 1, 0); got != 98 {
+		t.Fatalf("exact (1,0)-center = %v, want 98", got)
+	}
+}
+
+func TestWeightedGreedyRespectsWeights(t *testing.T) {
+	// Two candidate locations; one carries weight 100, the other weight 1.
+	// With k=1 and outlier budget 1, the greedy must pick the heavy one.
+	ds, _ := metric.FromPoints([][]float64{{0}, {50}})
+	centers, ok := weightedGreedy(ds, []int{0, 1}, []float64{100, 1}, 1, 1, 0.25)
+	if !ok {
+		t.Fatal("expected feasible: light point fits the budget")
+	}
+	if len(centers) != 1 || centers[0] != 0 {
+		t.Fatalf("picked %v, want the weight-100 point", centers)
+	}
+}
+
+func BenchmarkDistributedOutliers(b *testing.B) {
+	ds := plantOutliers(20000, 10, 20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Distributed(ds, DistributedConfig{K: 10, Z: 20,
+			Cluster: mapreduce.Config{Machines: 20}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

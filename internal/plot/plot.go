@@ -1,0 +1,159 @@
+// Package plot renders X-Y series as ASCII charts, giving cmd/experiments a
+// way to draw the paper's figures (runtime and value curves over k and n)
+// directly in a terminal. The paper's figures are log-scale on both axes;
+// Render supports log scaling per axis and multiple overlaid series with
+// distinct markers, mirroring the three-algorithm comparisons of Figures
+// 1–4.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Config controls chart geometry and scaling.
+type Config struct {
+	// Width and Height are the plot-area dimensions in characters;
+	// defaults 64×20.
+	Width, Height int
+	// LogX / LogY select logarithmic axes (points with non-positive
+	// coordinates on a log axis are dropped).
+	LogX, LogY bool
+	// Title is printed above the chart.
+	Title string
+	// XLabel / YLabel annotate the axes.
+	XLabel, YLabel string
+}
+
+// markers cycles through per-series point glyphs.
+var markers = []byte{'*', '+', 'x', 'o', '#', '@'}
+
+// Render draws the series into w. It returns an error when no finite,
+// plottable point exists.
+func Render(w io.Writer, cfg Config, series ...Series) error {
+	if cfg.Width <= 0 {
+		cfg.Width = 64
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 20
+	}
+
+	// Collect transformed points and ranges.
+	type pt struct{ x, y float64 }
+	transformed := make([][]pt, len(series))
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for si, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if cfg.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if cfg.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			transformed[si] = append(transformed[si], pt{x, y})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+			any = true
+		}
+	}
+	if !any {
+		return fmt.Errorf("plot: no plottable points")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	for si, pts := range transformed {
+		mark := markers[si%len(markers)]
+		for _, p := range pts {
+			col := int(math.Round((p.x - minX) / (maxX - minX) * float64(cfg.Width-1)))
+			row := int(math.Round((p.y - minY) / (maxY - minY) * float64(cfg.Height-1)))
+			grid[cfg.Height-1-row][col] = mark
+		}
+	}
+
+	if cfg.Title != "" {
+		fmt.Fprintf(w, "%s\n", cfg.Title)
+	}
+	// Legend.
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(w, "  [%s]\n", strings.Join(legend, "   "))
+
+	yTop := axisValue(maxY, cfg.LogY)
+	yBot := axisValue(minY, cfg.LogY)
+	label := cfg.YLabel
+	for r, line := range grid {
+		prefix := "          "
+		switch r {
+		case 0:
+			prefix = fmt.Sprintf("%9.3g ", yTop)
+		case cfg.Height - 1:
+			prefix = fmt.Sprintf("%9.3g ", yBot)
+		case cfg.Height / 2:
+			if label != "" {
+				if len(label) > 9 {
+					label = label[:9]
+				}
+				prefix = fmt.Sprintf("%9s ", label)
+			}
+		}
+		fmt.Fprintf(w, "%s|%s\n", prefix, string(line))
+	}
+	fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", cfg.Width))
+	xl := fmt.Sprintf("%.3g", axisValue(minX, cfg.LogX))
+	xr := fmt.Sprintf("%.3g", axisValue(maxX, cfg.LogX))
+	gap := cfg.Width - len(xl) - len(xr)
+	if gap < 1 {
+		gap = 1
+	}
+	center := cfg.XLabel
+	if len(center) > gap {
+		center = center[:gap]
+	}
+	leftPad := (gap - len(center)) / 2
+	fmt.Fprintf(w, "%s%s%s%s%s%s\n", strings.Repeat(" ", 11), xl,
+		strings.Repeat(" ", leftPad), center,
+		strings.Repeat(" ", gap-leftPad-len(center)), xr)
+	return nil
+}
+
+func axisValue(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}

@@ -1,0 +1,112 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{Title: "demo", XLabel: "k", YLabel: "seconds"},
+		Series{Name: "MRG", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}},
+		Series{Name: "GON", X: []float64{1, 2, 3}, Y: []float64{2, 8, 18}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "* MRG", "+ GON", "*", "+", "k"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderLogScale(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{LogX: true, LogY: true, Width: 40, Height: 10},
+		Series{Name: "s", X: []float64{10, 100, 1000}, Y: []float64{0.001, 0.1, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Axis endpoints printed in original (non-log) units.
+	if !strings.Contains(out, "10") || !strings.Contains(out, "1e+03") {
+		t.Fatalf("log axis labels missing:\n%s", out)
+	}
+}
+
+func TestRenderDropsNonPositiveOnLogAxes(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{LogY: true},
+		Series{Name: "s", X: []float64{1, 2}, Y: []float64{-1, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only one point survives; the chart must still render.
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("surviving point not drawn")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, Config{}, Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Fatal("mismatched lengths should fail")
+	}
+	if err := Render(&buf, Config{LogY: true}, Series{Name: "neg", X: []float64{1}, Y: []float64{-5}}); err == nil {
+		t.Fatal("no plottable points should fail")
+	}
+	if err := Render(&buf, Config{}); err == nil {
+		t.Fatal("no series should fail")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{Width: 20, Height: 5},
+		Series{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{7, 7, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("flat series not drawn")
+	}
+}
+
+func TestRenderDimensions(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{Width: 30, Height: 8},
+		Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// legend + 8 rows + axis + labels = 11 lines.
+	if len(lines) != 11 {
+		t.Fatalf("expected 11 lines, got %d:\n%s", len(lines), buf.String())
+	}
+	rowLen := len(lines[1])
+	for i := 2; i <= 8; i++ {
+		if len(lines[i]) > 11+30 {
+			t.Fatalf("row %d too long (%d)", i, len(lines[i]))
+		}
+	}
+	_ = rowLen
+}
+
+func TestMarkersCycle(t *testing.T) {
+	var buf bytes.Buffer
+	many := make([]Series, 8)
+	for i := range many {
+		many[i] = Series{Name: string(rune('a' + i)), X: []float64{float64(i)}, Y: []float64{float64(i)}}
+	}
+	if err := Render(&buf, Config{}, many...); err != nil {
+		t.Fatal(err)
+	}
+	// 8 series with 6 markers: the cycle repeats without panicking.
+	if !strings.Contains(buf.String(), "@") {
+		t.Fatal("later markers unused")
+	}
+}

@@ -1,0 +1,179 @@
+// Package quality computes clustering-quality diagnostics used by the
+// examples and the experiment harness to characterize solutions beyond the
+// raw k-center objective: the paper repeatedly argues about *why* a solution
+// is good or bad (GON favors perimeter points, sampling avoids extremal
+// points, §8.1/8.3), and these diagnostics make those arguments measurable.
+//
+// All functions take an explicit assignment (from assign.Evaluate) so they
+// never recompute the expensive nearest-center search.
+package quality
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kcenter/internal/metric"
+	"kcenter/internal/rng"
+)
+
+// Summary aggregates per-cluster shape statistics.
+type Summary struct {
+	// K is the number of clusters (centers).
+	K int
+	// Radius is the maximum assignment distance (the k-center objective).
+	Radius float64
+	// MeanDist is the average assignment distance (the k-means/k-median
+	// flavor of the same assignment).
+	MeanDist float64
+	// P95Dist is the 95th percentile of assignment distances — how far the
+	// "typical worst" points sit, which separates a radius driven by bulk
+	// geometry from one driven by a few outliers (the Figure 1 story).
+	P95Dist float64
+	// MinClusterSize and MaxClusterSize expose balance.
+	MinClusterSize, MaxClusterSize int
+	// EmptyClusters counts centers with no assigned points (possible when
+	// duplicate centers exist).
+	EmptyClusters int
+}
+
+// Summarize computes a Summary from the distances and assignment produced
+// by assign.Evaluate.
+func Summarize(dist []float64, assignment []int, k int) (*Summary, error) {
+	if len(dist) != len(assignment) {
+		return nil, fmt.Errorf("quality: %d distances vs %d assignments", len(dist), len(assignment))
+	}
+	if len(dist) == 0 {
+		return nil, fmt.Errorf("quality: empty assignment")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("quality: k must be >= 1, got %d", k)
+	}
+	s := &Summary{K: k}
+	sizes := make([]int, k)
+	total := 0.0
+	for i, d := range dist {
+		a := assignment[i]
+		if a < 0 || a >= k {
+			return nil, fmt.Errorf("quality: assignment[%d] = %d out of range [0,%d)", i, a, k)
+		}
+		sizes[a]++
+		total += d
+		if d > s.Radius {
+			s.Radius = d
+		}
+	}
+	s.MeanDist = total / float64(len(dist))
+	sorted := append([]float64(nil), dist...)
+	sort.Float64s(sorted)
+	s.P95Dist = sorted[(len(sorted)*95)/100]
+	s.MinClusterSize = math.MaxInt
+	for _, sz := range sizes {
+		if sz == 0 {
+			s.EmptyClusters++
+			continue
+		}
+		if sz < s.MinClusterSize {
+			s.MinClusterSize = sz
+		}
+		if sz > s.MaxClusterSize {
+			s.MaxClusterSize = sz
+		}
+	}
+	if s.MinClusterSize == math.MaxInt {
+		s.MinClusterSize = 0
+	}
+	return s, nil
+}
+
+// DunnIndex returns the ratio of the minimum inter-center distance to the
+// maximum assignment distance (diameter proxy). Higher is better; a value
+// far above 1 means well-separated, compact clusters. Centers are dataset
+// indices.
+func DunnIndex(ds *metric.Dataset, centers []int, radius float64) float64 {
+	if len(centers) < 2 || radius <= 0 {
+		return math.Inf(1)
+	}
+	minSep := math.Inf(1)
+	for i := 0; i < len(centers); i++ {
+		for j := i + 1; j < len(centers); j++ {
+			if d := ds.Dist(centers[i], centers[j]); d < minSep {
+				minSep = d
+			}
+		}
+	}
+	// 2·radius bounds the cluster diameter from above.
+	return minSep / (2 * radius)
+}
+
+// SampledSilhouette estimates the mean silhouette coefficient on a uniform
+// sample of at most sampleSize points (exact silhouettes are O(n²)). The
+// coefficient per point is (b − a)/max(a, b), with a the mean distance to
+// points of its own cluster and b the smallest mean distance to another
+// cluster, both estimated over the sampled points. Returns a value in
+// [−1, 1]; positive means points sit closer to their own cluster.
+func SampledSilhouette(ds *metric.Dataset, assignment []int, k, sampleSize int, seed uint64) (float64, error) {
+	if len(assignment) != ds.N {
+		return 0, fmt.Errorf("quality: assignment length %d != n %d", len(assignment), ds.N)
+	}
+	if k < 2 {
+		return 0, fmt.Errorf("quality: silhouette requires k >= 2")
+	}
+	if sampleSize <= 1 {
+		sampleSize = 256
+	}
+	r := rng.New(seed)
+	var sample []int
+	if sampleSize >= ds.N {
+		sample = make([]int, ds.N)
+		for i := range sample {
+			sample[i] = i
+		}
+	} else {
+		sample = r.Sample(ds.N, sampleSize)
+	}
+
+	total, counted := 0.0, 0
+	sums := make([]float64, k)
+	counts := make([]int, k)
+	for _, i := range sample {
+		for c := range sums {
+			sums[c], counts[c] = 0, 0
+		}
+		for _, j := range sample {
+			if j == i {
+				continue
+			}
+			c := assignment[j]
+			sums[c] += ds.Dist(i, j)
+			counts[c]++
+		}
+		own := assignment[i]
+		if counts[own] == 0 {
+			continue // lone sampled member of its cluster
+		}
+		a := sums[own] / float64(counts[own])
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || counts[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(counts[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue // no other cluster sampled
+		}
+		den := math.Max(a, b)
+		if den == 0 {
+			continue // coincident points
+		}
+		total += (b - a) / den
+		counted++
+	}
+	if counted == 0 {
+		return 0, fmt.Errorf("quality: sample produced no comparable points")
+	}
+	return total / float64(counted), nil
+}

@@ -1,0 +1,144 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"kcenter/internal/assign"
+	"kcenter/internal/core"
+	"kcenter/internal/dataset"
+	"kcenter/internal/metric"
+)
+
+func TestSummarizeKnownInstance(t *testing.T) {
+	dist := []float64{0, 1, 2, 0, 3}
+	assignment := []int{0, 0, 0, 1, 1}
+	s, err := Summarize(dist, assignment, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Radius != 3 || s.MeanDist != 1.2 {
+		t.Fatalf("%+v", s)
+	}
+	if s.MinClusterSize != 2 || s.MaxClusterSize != 3 || s.EmptyClusters != 0 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestSummarizeEmptyCluster(t *testing.T) {
+	s, err := Summarize([]float64{1, 2}, []int{0, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.EmptyClusters != 2 || s.MinClusterSize != 2 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestSummarizeP95SeparatesOutlierDrivenRadius(t *testing.T) {
+	// 99 points at distance ~1, one at 1000: P95 stays ~1 while Radius
+	// explodes — the Figure 1 diagnostic.
+	dist := make([]float64, 100)
+	assignment := make([]int, 100)
+	for i := range dist {
+		dist[i] = 1
+	}
+	dist[99] = 1000
+	s, err := Summarize(dist, assignment, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Radius != 1000 || s.P95Dist > 2 {
+		t.Fatalf("radius %v p95 %v", s.Radius, s.P95Dist)
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if _, err := Summarize([]float64{1}, []int{0, 1}, 2); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := Summarize(nil, nil, 1); err == nil {
+		t.Fatal("empty should fail")
+	}
+	if _, err := Summarize([]float64{1}, []int{0}, 0); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := Summarize([]float64{1}, []int{5}, 2); err == nil {
+		t.Fatal("out-of-range assignment should fail")
+	}
+}
+
+func TestDunnIndexSeparatedVsOverlapping(t *testing.T) {
+	l := dataset.Gau(dataset.GauConfig{N: 2000, KPrime: 4, Seed: 1})
+	res := core.Gonzalez(l.Points, 4, core.Options{})
+	sep := DunnIndex(l.Points, res.Centers, res.Radius)
+	if sep < 5 {
+		t.Fatalf("Dunn index %v on well-separated clusters, want >> 1", sep)
+	}
+	// Uniform data: separation comparable to radius → small index.
+	u := dataset.Unif(dataset.UnifConfig{N: 2000, Seed: 2})
+	ur := core.Gonzalez(u.Points, 4, core.Options{})
+	unifDunn := DunnIndex(u.Points, ur.Centers, ur.Radius)
+	if unifDunn > sep/3 {
+		t.Fatalf("uniform Dunn %v not clearly below clustered %v", unifDunn, sep)
+	}
+}
+
+func TestDunnIndexDegenerate(t *testing.T) {
+	ds, _ := metric.FromPoints([][]float64{{0}, {1}})
+	if v := DunnIndex(ds, []int{0}, 1); !math.IsInf(v, 1) {
+		t.Fatalf("single center Dunn = %v, want +Inf", v)
+	}
+	if v := DunnIndex(ds, []int{0, 1}, 0); !math.IsInf(v, 1) {
+		t.Fatalf("zero radius Dunn = %v, want +Inf", v)
+	}
+}
+
+func TestSilhouetteHighOnSeparatedClusters(t *testing.T) {
+	l := dataset.Gau(dataset.GauConfig{N: 3000, KPrime: 5, Seed: 3})
+	res := core.Gonzalez(l.Points, 5, core.Options{})
+	ev := assign.Evaluate(l.Points, res.Centers, 0)
+	sil, err := SampledSilhouette(l.Points, ev.Assignment, 5, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sil < 0.8 {
+		t.Fatalf("silhouette %v on tight separated clusters, want > 0.8", sil)
+	}
+}
+
+func TestSilhouetteLowOnUniformData(t *testing.T) {
+	u := dataset.Unif(dataset.UnifConfig{N: 3000, Seed: 4})
+	res := core.Gonzalez(u.Points, 5, core.Options{})
+	ev := assign.Evaluate(u.Points, res.Centers, 0)
+	sil, err := SampledSilhouette(u.Points, ev.Assignment, 5, 400, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sil > 0.6 {
+		t.Fatalf("silhouette %v on uniform data, expected mediocre (< 0.6)", sil)
+	}
+}
+
+func TestSilhouetteSmallSampleUsesAll(t *testing.T) {
+	l := dataset.Gau(dataset.GauConfig{N: 100, KPrime: 2, Seed: 5})
+	res := core.Gonzalez(l.Points, 2, core.Options{})
+	ev := assign.Evaluate(l.Points, res.Centers, 0)
+	sil, err := SampledSilhouette(l.Points, ev.Assignment, 2, 10000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sil < 0.5 {
+		t.Fatalf("silhouette %v", sil)
+	}
+}
+
+func TestSilhouetteErrors(t *testing.T) {
+	ds, _ := metric.FromPoints([][]float64{{0}, {1}})
+	if _, err := SampledSilhouette(ds, []int{0}, 2, 10, 1); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := SampledSilhouette(ds, []int{0, 0}, 1, 10, 1); err == nil {
+		t.Fatal("k < 2 should fail")
+	}
+}

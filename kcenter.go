@@ -1,0 +1,227 @@
+// Package kcenter is a parallel k-center clustering library reproducing
+// McClintock & Wirth, "Efficient Parallel Algorithms for k-Center
+// Clustering" (ICPP 2016).
+//
+// The k-center problem asks for at most k centers, chosen among the input
+// points, minimizing the maximum distance from any point to its nearest
+// center. It is NP-hard; 2 is the best possible approximation factor, and
+// the classic sequential algorithms achieving it do not parallelize
+// directly. This package provides:
+//
+//   - Gonzalez: the sequential greedy 2-approximation (the paper's GON),
+//     O(k·n).
+//   - MRG: "MapReduce Gonzalez" — the paper's multi-round parallel
+//     algorithm. Two rounds give a 4-approximation; i rounds give 2(i+1).
+//   - EIM: the paper's generalization of Ene–Im–Moseley iterative sampling,
+//     with the pivot parameter φ trading approximation confidence for speed
+//     (φ = 8 reproduces the original 10-approximation algorithm).
+//
+// Parallel algorithms run on a simulated MapReduce cluster (m machines,
+// default 50 as in the paper); reported runtimes follow the paper's cost
+// model: per-round maximum over machines, summed over rounds.
+//
+// Quick start:
+//
+//	ds, _ := kcenter.NewDataset(points)          // [][]float64, equal dims
+//	res, _ := kcenter.MRG(ds, 10, kcenter.MRGOptions{})
+//	fmt.Println(res.Radius, res.Centers)
+package kcenter
+
+import (
+	"fmt"
+	"io"
+
+	"kcenter/internal/assign"
+	"kcenter/internal/core"
+	"kcenter/internal/dataset"
+	"kcenter/internal/eim"
+	"kcenter/internal/mapreduce"
+	"kcenter/internal/metric"
+	"kcenter/internal/mrg"
+)
+
+// Dataset holds n points of equal dimension in a contiguous layout.
+type Dataset struct {
+	m *metric.Dataset
+}
+
+// NewDataset copies a slice of equal-length points into a Dataset.
+func NewDataset(points [][]float64) (*Dataset, error) {
+	m, err := metric.FromPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{m: m}, nil
+}
+
+// ReadCSV loads a numeric matrix from comma-separated text (UCI-style
+// files). Non-numeric columns are skipped automatically.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	m, err := dataset.LoadCSV(r, dataset.LoadCSVOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{m: m}, nil
+}
+
+// Uniform generates n points uniformly in a 2-D square of side 100 — the
+// paper's UNIF family.
+func Uniform(n int, seed uint64) *Dataset {
+	return &Dataset{m: dataset.Unif(dataset.UnifConfig{N: n, Seed: seed}).Points}
+}
+
+// Clustered generates the paper's GAU family: kPrime tight Gaussian clusters
+// (σ = 0.1) with centers spread over a 2-D square of side 100.
+func Clustered(n, kPrime int, seed uint64) *Dataset {
+	return &Dataset{m: dataset.Gau(dataset.GauConfig{N: n, KPrime: kPrime, Seed: seed}).Points}
+}
+
+// Len returns the number of points.
+func (d *Dataset) Len() int { return d.m.N }
+
+// Dim returns the dimensionality.
+func (d *Dataset) Dim() int { return d.m.Dim }
+
+// At returns the coordinates of point i. The slice aliases internal storage;
+// treat it as read-only.
+func (d *Dataset) At(i int) []float64 { return d.m.At(i) }
+
+// Result describes a k-center solution.
+type Result struct {
+	// Centers are indices into the dataset.
+	Centers []int
+	// Radius is the covering radius: the k-center objective value.
+	Radius float64
+	// Assignment[i] is the position in Centers of point i's nearest center.
+	Assignment []int
+	// Rounds is the number of MapReduce rounds used (0 for Gonzalez).
+	Rounds int
+	// ApproxFactor is the guarantee under which the result was produced
+	// (2 for Gonzalez; 2(i+1) for MRG with i parallel iterations; 10 w.s.p.
+	// for EIM with φ ≥ 8).
+	ApproxFactor float64
+	// SimulatedSeconds is the simulated parallel makespan under the paper's
+	// cost model (0 for Gonzalez, which is not a MapReduce algorithm).
+	SimulatedSeconds float64
+}
+
+// Gonzalez runs the sequential greedy 2-approximation (GON).
+func Gonzalez(d *Dataset, k int) (*Result, error) {
+	if err := checkArgs(d, k); err != nil {
+		return nil, err
+	}
+	res := core.Gonzalez(d.m, k, core.Options{First: 0})
+	ev := assign.Evaluate(d.m, res.Centers, 0)
+	return &Result{
+		Centers:      res.Centers,
+		Radius:       res.Radius,
+		Assignment:   ev.Assignment,
+		ApproxFactor: 2,
+	}, nil
+}
+
+// MRGOptions configures the parallel MRG run.
+type MRGOptions struct {
+	// Machines is the simulated cluster size (default 50, as in the paper).
+	Machines int
+	// Capacity is the per-machine capacity in points; 0 picks the smallest
+	// capacity that permits the 2-round, 4-approximation case.
+	Capacity int
+	// Seed drives the arbitrary partition and seeding choices.
+	Seed uint64
+}
+
+// MRG runs the paper's multi-round parallel Gonzalez (Algorithm 1).
+func MRG(d *Dataset, k int, opt MRGOptions) (*Result, error) {
+	if err := checkArgs(d, k); err != nil {
+		return nil, err
+	}
+	res, err := mrg.Run(d.m, mrg.Config{
+		K:       k,
+		Cluster: mapreduce.Config{Machines: opt.Machines, Capacity: opt.Capacity},
+		Seed:    opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Centers:          res.Centers,
+		Radius:           res.Radius,
+		Assignment:       res.Evaluation.Assignment,
+		Rounds:           res.MapReduceRounds,
+		ApproxFactor:     res.ApproxFactor,
+		SimulatedSeconds: res.Stats.SimulatedWall().Seconds(),
+	}, nil
+}
+
+// EIMOptions configures the sampling algorithm.
+type EIMOptions struct {
+	// Machines is the simulated cluster size (default 50).
+	Machines int
+	// Phi is the pivot-selection parameter; 0 means the original φ = 8.
+	// Values above 5.15 retain the probabilistic 10-approximation; smaller
+	// values are faster with weaker guarantees (paper §6, §8.3).
+	Phi float64
+	// Epsilon is the sampling exponent; 0 means the paper's 0.1.
+	Epsilon float64
+	// Seed drives all sampling.
+	Seed uint64
+}
+
+// EIM runs the paper's generalized iterative-sampling algorithm
+// (Algorithms 2–3). When k is large relative to n the sampling loop never
+// engages and EIM degenerates to Gonzalez on the whole input, as the paper
+// observes in Figures 3b and 4b.
+func EIM(d *Dataset, k int, opt EIMOptions) (*Result, error) {
+	if err := checkArgs(d, k); err != nil {
+		return nil, err
+	}
+	res, err := eim.Run(d.m, eim.Config{
+		K:       k,
+		Phi:     opt.Phi,
+		Epsilon: opt.Epsilon,
+		Cluster: mapreduce.Config{Machines: opt.Machines},
+		Seed:    opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	factor := 10.0
+	if opt.Phi > 0 && opt.Phi <= 5.15 {
+		factor = 0 // below the provable threshold: no guarantee (paper §6)
+	}
+	return &Result{
+		Centers:          res.Centers,
+		Radius:           res.Radius,
+		Assignment:       res.Evaluation.Assignment,
+		Rounds:           res.MapReduceRounds,
+		ApproxFactor:     factor,
+		SimulatedSeconds: res.Stats.SimulatedWall().Seconds(),
+	}, nil
+}
+
+// Radius evaluates the covering radius of an explicit center set.
+func Radius(d *Dataset, centers []int) (float64, error) {
+	if d == nil || d.m.N == 0 {
+		return 0, fmt.Errorf("kcenter: empty dataset")
+	}
+	if len(centers) == 0 {
+		return 0, fmt.Errorf("kcenter: no centers")
+	}
+	for _, c := range centers {
+		if c < 0 || c >= d.m.N {
+			return 0, fmt.Errorf("kcenter: center index %d out of range [0,%d)", c, d.m.N)
+		}
+	}
+	return assign.Radius(d.m, centers), nil
+}
+
+func checkArgs(d *Dataset, k int) error {
+	if d == nil || d.m == nil || d.m.N == 0 {
+		return fmt.Errorf("kcenter: empty dataset")
+	}
+	if k <= 0 {
+		return fmt.Errorf("kcenter: k must be >= 1, got %d", k)
+	}
+	return nil
+}

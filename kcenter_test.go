@@ -1,0 +1,188 @@
+package kcenter
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func grid(t *testing.T) *Dataset {
+	t.Helper()
+	var pts [][]float64
+	for x := 0; x < 20; x++ {
+		for y := 0; y < 20; y++ {
+			pts = append(pts, []float64{float64(x), float64(y)})
+		}
+	}
+	d, err := NewDataset(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDatasetValidation(t *testing.T) {
+	if _, err := NewDataset(nil); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	if _, err := NewDataset([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged input should fail")
+	}
+	d, err := NewDataset([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Dim() != 2 || d.At(1)[0] != 3 {
+		t.Fatalf("%d x %d", d.Len(), d.Dim())
+	}
+}
+
+func TestGonzalezFacade(t *testing.T) {
+	d := grid(t)
+	res, err := Gonzalez(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 4 || res.Radius <= 0 {
+		t.Fatalf("%+v", res)
+	}
+	if res.ApproxFactor != 2 {
+		t.Fatalf("factor %v", res.ApproxFactor)
+	}
+	if len(res.Assignment) != d.Len() {
+		t.Fatal("assignment missing")
+	}
+	for _, a := range res.Assignment {
+		if a < 0 || a >= 4 {
+			t.Fatalf("assignment %d out of range", a)
+		}
+	}
+}
+
+func TestMRGFacade(t *testing.T) {
+	d := Uniform(5000, 1)
+	res, err := MRG(d, 10, MRGOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 2 || res.ApproxFactor != 4 {
+		t.Fatalf("rounds %d factor %v", res.Rounds, res.ApproxFactor)
+	}
+	if res.SimulatedSeconds <= 0 {
+		t.Fatal("no simulated time")
+	}
+	want, err := Radius(d, res.Centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Radius-want) > 1e-9*(1+want) {
+		t.Fatalf("radius %v vs evaluated %v", res.Radius, want)
+	}
+}
+
+func TestEIMFacade(t *testing.T) {
+	d := Uniform(30000, 3)
+	res, err := EIM(d, 5, EIMOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ApproxFactor != 10 {
+		t.Fatalf("factor %v, want 10 for default phi", res.ApproxFactor)
+	}
+	if res.Rounds < 4 {
+		t.Fatalf("rounds %d", res.Rounds)
+	}
+	low, err := EIM(d, 5, EIMOptions{Seed: 4, Phi: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.ApproxFactor != 0 {
+		t.Fatalf("phi=1 factor %v, want 0 (no guarantee)", low.ApproxFactor)
+	}
+}
+
+func TestAlgorithmsAgreeOnClusteredData(t *testing.T) {
+	d := Clustered(20000, 10, 5)
+	gon, err := Gonzalez(d, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MRG(d, 10, MRGOptions{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := EIM(d, 10, EIMOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three must isolate the 10 tight clusters: radii near the cluster
+	// radius (~1), far below the inter-cluster distances (~100).
+	for name, r := range map[string]float64{"GON": gon.Radius, "MRG": m.Radius, "EIM": e.Radius} {
+		if r > 10 {
+			t.Fatalf("%s radius %v failed to separate clusters", name, r)
+		}
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	d := grid(t)
+	if _, err := Gonzalez(d, 0); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := Gonzalez(nil, 3); err == nil {
+		t.Fatal("nil dataset should fail")
+	}
+	if _, err := MRG(nil, 3, MRGOptions{}); err == nil {
+		t.Fatal("nil dataset should fail")
+	}
+	if _, err := EIM(nil, 3, EIMOptions{}); err == nil {
+		t.Fatal("nil dataset should fail")
+	}
+	if _, err := Radius(d, nil); err == nil {
+		t.Fatal("no centers should fail")
+	}
+	if _, err := Radius(d, []int{-1}); err == nil {
+		t.Fatal("bad center index should fail")
+	}
+	if _, err := Radius(d, []int{d.Len()}); err == nil {
+		t.Fatal("out-of-range center should fail")
+	}
+}
+
+func TestReadCSVFacade(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader("1,2\n3,4\n5,6\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 || d.Dim() != 2 {
+		t.Fatalf("%d x %d", d.Len(), d.Dim())
+	}
+	res, err := Gonzalez(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 2 {
+		t.Fatalf("%+v", res)
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty CSV should fail")
+	}
+}
+
+func TestGeneratorsFacade(t *testing.T) {
+	u := Uniform(2000, 9)
+	if u.Len() != 2000 || u.Dim() != 2 {
+		t.Fatalf("%d x %d", u.Len(), u.Dim())
+	}
+	c := Clustered(2000, 5, 9)
+	if c.Len() != 2000 {
+		t.Fatalf("%d", c.Len())
+	}
+	res, err := Gonzalez(c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Radius > 10 {
+		t.Fatalf("clustered generator radius %v", res.Radius)
+	}
+}
