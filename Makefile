@@ -1,0 +1,26 @@
+# Canonical tier-1 gate for this repository. `make check` is what CI and
+# every PR must keep green; the individual targets exist for quick local
+# iteration.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector gate over the concurrent ingestion path; -short keeps it
+# under a couple of seconds.
+race:
+	$(GO) test -race -short ./internal/stream/...
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x .

@@ -22,6 +22,7 @@ import (
 	"kcenter/internal/metric"
 	"kcenter/internal/mrg"
 	"kcenter/internal/rng"
+	"kcenter/internal/stream"
 )
 
 // benchAlgos runs the three algorithm families over a fixed dataset as
@@ -346,5 +347,49 @@ func BenchmarkAblationGonzalezSeed(b *testing.B) {
 	}
 	if best < math.Inf(1) {
 		b.ReportMetric(worst/best, "worst/best-radius")
+	}
+}
+
+// --- Streaming (not in the paper: insertion-only extension) --------------
+
+// BenchmarkStreamPush measures single-summary ingestion cost per point: the
+// steady-state hot path is one nearest-center scan (≤ k squared distances)
+// per push, independent of how many points came before.
+func BenchmarkStreamPush(b *testing.B) {
+	l := dataset.Gau(dataset.GauConfig{N: 100000, KPrime: 25, Seed: 19})
+	for _, k := range []int{10, 100} {
+		k := k
+		b.Run("k="+itoa(k), func(b *testing.B) {
+			s := stream.NewSummary(k, stream.Options{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Push(l.Points.At(i % l.Points.N))
+			}
+			b.ReportMetric(float64(s.Count()), "centers")
+			b.ReportMetric(float64(s.Merges()), "doublings")
+		})
+	}
+}
+
+// BenchmarkShardedThroughput measures end-to-end sharded ingestion
+// (Push fan-out, shard summaries, final merge) from a single producer,
+// reporting points/second and the realized-vs-batch quality ratio.
+func BenchmarkShardedThroughput(b *testing.B) {
+	l := dataset.Unif(dataset.UnifConfig{N: 100000, Seed: 20})
+	gon := core.Gonzalez(l.Points, 25, core.Options{First: 0})
+	for _, shards := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		shards := shards
+		b.Run("shards="+itoa(shards), func(b *testing.B) {
+			var last harness.StreamMeasurement
+			for i := 0; i < b.N; i++ {
+				m, err := harness.RunStream(l.Points, harness.StreamSpec{K: 25, Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+			b.ReportMetric(last.PointsPerSec, "pts/s")
+			b.ReportMetric(last.Value/gon.Radius, "radius-vs-GON")
+		})
 	}
 }

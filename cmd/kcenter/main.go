@@ -8,6 +8,14 @@
 //	kcenter -algo eim -dataset unif -n 50000 -k 10 -phi 4
 //	kcenter -algo gon -csv pokerhand.data -k 25
 //
+// The stream subcommand instead ingests rows incrementally — CSV rows are
+// pushed into the sharded streaming summarizer as they are read, never
+// materializing the dataset, so arbitrarily large (or live) feeds fit in
+// O(shards·k) memory:
+//
+//	kcenter stream -csv pokerhand.data -k 25 -shards 8
+//	kcenter stream -dataset gau -n 1000000 -k 25
+//
 // Exit status is non-zero on any configuration or runtime error.
 package main
 
@@ -24,6 +32,7 @@ import (
 	"kcenter/internal/mapreduce"
 	"kcenter/internal/metric"
 	"kcenter/internal/mrg"
+	"kcenter/internal/stream"
 )
 
 func main() {
@@ -34,6 +43,9 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "stream" {
+		return runStream(args[1:], out)
+	}
 	fs := flag.NewFlagSet("kcenter", flag.ContinueOnError)
 	var (
 		algo     = fs.String("algo", "mrg", "algorithm: gon | mrg | eim")
@@ -108,6 +120,91 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown algorithm %q (want gon, mrg or eim)", *algo)
 	}
 	return nil
+}
+
+// runStream implements the stream subcommand: incremental ingestion into a
+// sharded streaming summarizer.
+func runStream(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("kcenter stream", flag.ContinueOnError)
+	var (
+		k       = fs.Int("k", 10, "number of centers")
+		shards  = fs.Int("shards", 1, "concurrent shard goroutines")
+		buffer  = fs.Int("buffer", 0, "per-shard channel depth (0 = default)")
+		csvPath = fs.String("csv", "", "read CSV rows incrementally from a file ('-' for stdin)")
+		dsName  = fs.String("dataset", "unif", "generator when no -csv: unif | gau | unb | poker | kdd")
+		n       = fs.Int("n", 100000, "points for generated data sets")
+		kPrime  = fs.Int("kprime", 25, "inherent clusters for gau/unb")
+		seed    = fs.Uint64("seed", 1, "random seed for generated data sets")
+		verbose = fs.Bool("v", false, "print per-shard statistics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *shards <= 0 {
+		*shards = 1
+	}
+	sh, err := stream.NewSharded(stream.ShardedConfig{K: *k, Shards: *shards, Buffer: *buffer})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var pushed int64
+	if *csvPath != "" {
+		r := io.Reader(os.Stdin)
+		name := "stdin"
+		if *csvPath != "-" {
+			f, err := os.Open(*csvPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+			name = *csvPath
+		}
+		fmt.Fprintf(out, "streaming %s   k=%d   shards=%d\n", name, *k, *shards)
+		pushed, err = pushCSV(r, sh)
+		if err != nil {
+			return err
+		}
+	} else {
+		// Generated feeds are materialized by the generator but pushed row
+		// by row, exercising the same ingestion path as a live source.
+		ds, name, err := loadData("", *dsName, *n, *kPrime, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "streaming %s (n=%d, dim=%d)   k=%d   shards=%d\n", name, ds.N, ds.Dim, *k, *shards)
+		for i := 0; i < ds.N; i++ {
+			if err := sh.Push(ds.At(i)); err != nil {
+				return err
+			}
+			pushed++
+		}
+	}
+	res, err := sh.Finish()
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(out, "STREAM   bound=%.6g   lower-bound=%.6g   centers=%d   union=%d   ingested=%d   wall=%v   (%.3g pts/s)\n",
+		res.Bound, res.LowerBound, res.Centers.N, res.UnionSize, res.Ingested,
+		elapsed.Round(time.Millisecond), float64(pushed)/elapsed.Seconds())
+	if *verbose {
+		for i, st := range res.PerShard {
+			fmt.Fprintf(out, "  shard %-3d ingested=%-9d centers=%-4d r=%-12.6g doublings=%d\n",
+				i, st.Ingested, st.Centers, st.R, st.Merges)
+		}
+	}
+	return nil
+}
+
+// pushCSV reads UCI-style comma-separated text row by row and pushes each
+// row into sh without materializing the matrix. Column handling (numeric
+// autodetection from the first data row) is shared with dataset.LoadCSV via
+// ForEachCSVRow; Push copies each row, satisfying the iterator's reuse
+// contract.
+func pushCSV(r io.Reader, sh *stream.Sharded) (int64, error) {
+	return dataset.ForEachCSVRow(r, dataset.LoadCSVOptions{}, sh.Push)
 }
 
 func loadData(csvPath, dsName string, n, kPrime int, seed uint64) (*metric.Dataset, string, error) {

@@ -105,3 +105,67 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal("bad flag should fail")
 	}
 }
+
+func TestRunStreamGenerated(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"stream", "-dataset", "gau", "-n", "5000", "-kprime", "5", "-k", "5", "-shards", "4", "-v"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "STREAM") || !strings.Contains(out, "ingested=5000") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "shard 0") || !strings.Contains(out, "shard 3") {
+		t.Fatalf("verbose per-shard stats missing:\n%s", out)
+	}
+}
+
+func TestRunStreamCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "points.csv")
+	// A mixed-type row mirrors UCI files: the symbolic column is skipped by
+	// the same autodetection LoadCSV uses.
+	if err := os.WriteFile(path, []byte("0,a,0\n1,b,0\n0,c,1\n10,d,10\n11,e,10\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"stream", "-csv", path, "-k", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ingested=5") {
+		t.Fatalf("CSV rows not streamed:\n%s", out)
+	}
+	if !strings.Contains(out, "centers=2") {
+		t.Fatalf("expected 2 centers:\n%s", out)
+	}
+}
+
+func TestRunStreamErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"stream", "-k", "0"}, &buf); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if err := run([]string{"stream", "-csv", "/does/not/exist.csv"}, &buf); err == nil {
+		t.Fatal("missing CSV should fail")
+	}
+	if err := run([]string{"stream", "-dataset", "nope"}, &buf); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.csv")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"stream", "-csv", path, "-k", "2"}, &buf); err == nil {
+		t.Fatal("empty CSV should fail")
+	}
+	path2 := filepath.Join(dir, "symbolic.csv")
+	if err := os.WriteFile(path2, []byte("a,b\nc,d\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"stream", "-csv", path2, "-k", "2"}, &buf); err == nil {
+		t.Fatal("all-symbolic CSV should fail")
+	}
+}

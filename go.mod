@@ -1,0 +1,3 @@
+module kcenter
+
+go 1.21

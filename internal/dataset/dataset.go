@@ -327,20 +327,23 @@ type LoadCSVOptions struct {
 	IgnoreParseErrors bool
 }
 
-// LoadCSV reads a numeric matrix from UCI-style comma-separated text. It is
-// how the real Poker Hand / KDD Cup files plug into the harness when the
-// user has them on disk.
-func LoadCSV(r io.Reader, opts LoadCSVOptions) (*metric.Dataset, error) {
+// ForEachCSVRow reads UCI-style comma-separated text row by row, calling fn
+// with each parsed numeric row without materializing the matrix — the
+// primitive behind both LoadCSV and the CLI's incremental streaming
+// ingestion. The slice passed to fn is reused between calls; fn must copy
+// what it keeps. Returns the number of rows delivered. A non-nil error from
+// fn stops the scan and is returned verbatim.
+func ForEachCSVRow(r io.Reader, opts LoadCSVOptions, fn func(row []float64) error) (int64, error) {
 	if opts.Comma == 0 {
 		opts.Comma = ','
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var (
-		ds      *metric.Dataset
 		cols    = opts.Columns
+		row     []float64
 		lineNum int
-		rows    int
+		rows    int64
 	)
 	for sc.Scan() {
 		lineNum++
@@ -360,37 +363,56 @@ func LoadCSV(r io.Reader, opts LoadCSVOptions) (*metric.Dataset, error) {
 				}
 			}
 			if len(cols) == 0 {
-				return nil, fmt.Errorf("dataset: line %d has no numeric columns", lineNum)
+				return rows, fmt.Errorf("dataset: line %d has no numeric columns", lineNum)
 			}
 		}
-		if ds == nil {
-			ds = metric.NewDataset(0, len(cols))
+		if row == nil {
+			row = make([]float64, len(cols))
 		}
-		row := make([]float64, len(cols))
 		for i, c := range cols {
 			if c >= len(fields) {
-				return nil, fmt.Errorf("dataset: line %d has %d fields, need column %d", lineNum, len(fields), c)
+				return rows, fmt.Errorf("dataset: line %d has %d fields, need column %d", lineNum, len(fields), c)
 			}
 			v, err := strconv.ParseFloat(strings.TrimSpace(fields[c]), 64)
 			if err != nil {
 				if !opts.IgnoreParseErrors {
-					return nil, fmt.Errorf("dataset: line %d column %d: %v", lineNum, c, err)
+					return rows, fmt.Errorf("dataset: line %d column %d: %v", lineNum, c, err)
 				}
 				v = 0
 			}
 			row[i] = v
 		}
-		ds.Append(row)
+		if err := fn(row); err != nil {
+			return rows, err
+		}
 		rows++
-		if opts.MaxRows > 0 && rows >= opts.MaxRows {
+		if opts.MaxRows > 0 && rows >= int64(opts.MaxRows) {
 			break
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dataset: read: %w", err)
+		return rows, fmt.Errorf("dataset: read: %w", err)
 	}
-	if ds == nil {
-		return nil, fmt.Errorf("dataset: no data rows")
+	if rows == 0 {
+		return 0, fmt.Errorf("dataset: no data rows")
+	}
+	return rows, nil
+}
+
+// LoadCSV reads a numeric matrix from UCI-style comma-separated text. It is
+// how the real Poker Hand / KDD Cup files plug into the harness when the
+// user has them on disk.
+func LoadCSV(r io.Reader, opts LoadCSVOptions) (*metric.Dataset, error) {
+	var ds *metric.Dataset
+	_, err := ForEachCSVRow(r, opts, func(row []float64) error {
+		if ds == nil {
+			ds = metric.NewDataset(0, len(row))
+		}
+		ds.Append(row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return ds, nil
 }

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -274,5 +275,37 @@ func TestGeneratorNames(t *testing.T) {
 	}
 	if got := Unb(GauConfig{N: 10, KPrime: 3, Seed: 1}).Name; got != "UNB(n=10,k'=3,d=2)" {
 		t.Fatalf("name %q", got)
+	}
+}
+
+func TestForEachCSVRowStreaming(t *testing.T) {
+	in := "1,x,2\n3,y,4\n5,z,6\n"
+	var rows [][]float64
+	n, err := ForEachCSVRow(strings.NewReader(in), LoadCSVOptions{}, func(row []float64) error {
+		// The iterator reuses the slice; keeping it requires a copy.
+		rows = append(rows, append([]float64(nil), row...))
+		return nil
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	want := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	for i := range want {
+		if rows[i][0] != want[i][0] || rows[i][1] != want[i][1] {
+			t.Fatalf("row %d = %v, want %v", i, rows[i], want[i])
+		}
+	}
+
+	// A callback error stops the scan and propagates verbatim.
+	sentinel := errors.New("stop")
+	n, err = ForEachCSVRow(strings.NewReader(in), LoadCSVOptions{}, func([]float64) error {
+		return sentinel
+	})
+	if err != sentinel || n != 0 {
+		t.Fatalf("n=%d err=%v, want sentinel after 0 delivered rows", n, err)
+	}
+
+	if _, err := ForEachCSVRow(strings.NewReader(""), LoadCSVOptions{}, func([]float64) error { return nil }); err == nil {
+		t.Fatal("empty input should fail")
 	}
 }

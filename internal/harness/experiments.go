@@ -260,7 +260,9 @@ func phiSweep(cfg RunConfig, w io.Writer, g gen, baseN int, quantity string) err
 }
 
 func init() {
-	registry = []Experiment{
+	// Append rather than assign so registrations from other files in this
+	// package (e.g. the streaming experiment) survive any init order.
+	registry = append(registry, []Experiment{
 		{
 			ID:    "table1",
 			Title: "Theoretical comparison: approximation factor, rounds, runtime",
@@ -391,5 +393,5 @@ func init() {
 				return phiSweep(cfg, w, genGau(25), 200_000, "runtime")
 			},
 		},
-	}
+	}...)
 }

@@ -1,0 +1,161 @@
+// Streaming-vs-batch experiment: the doubling-algorithm stream summarizer
+// (internal/stream) against the batch baselines, measuring both solution
+// quality (realized covering radius relative to GON) and ingestion
+// throughput as the shard count grows. The paper has no streaming mode; this
+// experiment quantifies the price of its insertion-only extension — the
+// quality a production system gives up, and the throughput it gains, by
+// never materializing the dataset.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"kcenter/internal/core"
+	"kcenter/internal/metric"
+	"kcenter/internal/stream"
+)
+
+// StreamSpec describes one streaming ingestion run.
+type StreamSpec struct {
+	// K is the number of centers.
+	K int
+	// Shards is the number of concurrent shard goroutines; 0 means 1.
+	Shards int
+	// Producers is the number of concurrent producer goroutines pushing
+	// points; 0 means 1 (deterministic routing).
+	Producers int
+}
+
+// StreamMeasurement is the outcome of one streaming run.
+type StreamMeasurement struct {
+	// Value is the realized covering radius of the returned centers over
+	// the full input (comparable to Measurement.Value).
+	Value float64
+	// Bound is the certified coverage bound reported by the stream
+	// (Value ≤ Bound always).
+	Bound float64
+	// LowerBound is the certified lower bound on OPT.
+	LowerBound float64
+	// Seconds is the real wall time from first Push through Finish.
+	Seconds float64
+	// PointsPerSec is the ingestion throughput n/Seconds.
+	PointsPerSec float64
+}
+
+// RunStream pushes every point of ds through a sharded stream and evaluates
+// the result. With Producers > 1 the points are split contiguously across
+// producer goroutines, exercising concurrent ingestion at the cost of
+// run-to-run routing nondeterminism.
+func RunStream(ds *metric.Dataset, spec StreamSpec) (StreamMeasurement, error) {
+	shards := spec.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	producers := spec.Producers
+	if producers <= 0 {
+		producers = 1
+	}
+	sh, err := stream.NewSharded(stream.ShardedConfig{K: spec.K, Shards: shards})
+	if err != nil {
+		return StreamMeasurement{}, err
+	}
+	start := time.Now()
+	if producers == 1 {
+		for i := 0; i < ds.N; i++ {
+			if err := sh.Push(ds.At(i)); err != nil {
+				return StreamMeasurement{}, err
+			}
+		}
+	} else {
+		errc := make(chan error, producers)
+		chunk := (ds.N + producers - 1) / producers
+		for p := 0; p < producers; p++ {
+			lo, hi := p*chunk, (p+1)*chunk
+			if hi > ds.N {
+				hi = ds.N
+			}
+			go func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if err := sh.Push(ds.At(i)); err != nil {
+						errc <- err
+						return
+					}
+				}
+				errc <- nil
+			}(lo, hi)
+		}
+		for p := 0; p < producers; p++ {
+			if err := <-errc; err != nil {
+				return StreamMeasurement{}, err
+			}
+		}
+	}
+	res, err := sh.Finish()
+	if err != nil {
+		return StreamMeasurement{}, err
+	}
+	elapsed := time.Since(start).Seconds()
+	return StreamMeasurement{
+		Value:        stream.Cover(ds, res.Centers, nil),
+		Bound:        res.Bound,
+		LowerBound:   res.LowerBound,
+		Seconds:      elapsed,
+		PointsPerSec: float64(ds.N) / elapsed,
+	}, nil
+}
+
+// streamComparison writes the streaming-vs-batch table: for each k, the GON
+// baseline radius and each shard count's realized radius (as a ratio to GON)
+// plus ingestion throughput.
+func streamComparison(cfg RunConfig, w io.Writer, g gen, name string, baseN int, ks []int) error {
+	cfg = cfg.withDefaults()
+	n := cfg.scaled(baseN)
+	shardCounts := []int{1, 2, 8}
+	fmt.Fprintf(w, "%s n=%d, mean of %d repetitions; ratio = streaming radius / GON radius\n", name, n, cfg.Repeats)
+	fmt.Fprintf(w, "%6s %12s", "k", "GON")
+	for _, s := range shardCounts {
+		fmt.Fprintf(w, " %9s=%-2d %12s", "ratio s", s, "pts/s")
+	}
+	fmt.Fprintln(w)
+	for _, k := range ks {
+		gonMean, ratioMean := 0.0, make([]float64, len(shardCounts))
+		tputMean := make([]float64, len(shardCounts))
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			ds := g(n, cfg.Seed+uint64(rep)*7919)
+			gon := core.Gonzalez(ds, k, core.Options{First: 0})
+			gonMean += gon.Radius
+			for si, s := range shardCounts {
+				m, err := RunStream(ds, StreamSpec{K: k, Shards: s})
+				if err != nil {
+					return err
+				}
+				ratioMean[si] += m.Value / gon.Radius
+				tputMean[si] += m.PointsPerSec
+			}
+		}
+		reps := float64(cfg.Repeats)
+		fmt.Fprintf(w, "%6d %12.4g", k, gonMean/reps)
+		for si := range shardCounts {
+			fmt.Fprintf(w, " %12.3f %12.4g", ratioMean[si]/reps, tputMean[si]/reps)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func init() {
+	registry = append(registry, Experiment{
+		ID:    "stream",
+		Title: "Streaming vs batch: doubling-algorithm quality and sharded ingestion throughput",
+		Paper: "Not in the paper — extension: 8-approx single stream / 10-approx sharded, vs GON's 2-approx batch",
+		Run: func(cfg RunConfig, w io.Writer) error {
+			if err := streamComparison(cfg, w, genUnif, "UNIF", 100_000, []int{10, 25, 100}); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			return streamComparison(cfg, w, genGau(25), "GAU k'=25", 100_000, []int{10, 25, 100})
+		},
+	})
+}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kcenter/internal/dataset"
+)
+
+func TestRunStreamQualityAndThroughput(t *testing.T) {
+	l := dataset.Gau(dataset.GauConfig{N: 20000, KPrime: 10, Seed: 1})
+	gon, err := RunOne(l.Points, RunSpec{Algo: GON, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 4} {
+		m, err := RunStream(l.Points, StreamSpec{K: 10, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Value <= 0 || m.Seconds <= 0 || m.PointsPerSec <= 0 {
+			t.Fatalf("shards=%d: %+v", shards, m)
+		}
+		if m.Value > m.Bound {
+			t.Fatalf("shards=%d: realized %g escapes bound %g", shards, m.Value, m.Bound)
+		}
+		// Certified: streaming ≤ 8·OPT (s=1) or 10·OPT (s>1), GON ≥ OPT.
+		limit := 8.0
+		if shards > 1 {
+			limit = 10
+		}
+		if m.Value > limit*gon.Value {
+			t.Fatalf("shards=%d: streaming radius %g > %g·GON %g", shards, m.Value, limit, gon.Value)
+		}
+		if m.LowerBound > gon.Value {
+			t.Fatalf("shards=%d: lower bound %g > GON %g", shards, m.LowerBound, gon.Value)
+		}
+	}
+}
+
+func TestRunStreamConcurrentProducers(t *testing.T) {
+	l := dataset.Unif(dataset.UnifConfig{N: 20000, Seed: 2})
+	m, err := RunStream(l.Points, StreamSpec{K: 10, Shards: 4, Producers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Value <= 0 || m.Value > m.Bound {
+		t.Fatalf("%+v", m)
+	}
+}
+
+func TestStreamExperimentRegistered(t *testing.T) {
+	e, ok := ByID("stream")
+	if !ok {
+		t.Fatal("stream experiment not registered")
+	}
+	var buf bytes.Buffer
+	// Scale 100 keeps the table cheap: n is clamped to 1000 per dataset.
+	if err := e.Run(RunConfig{Scale: 100, Repeats: 1, Seed: 3}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "UNIF") || !strings.Contains(out, "GAU") {
+		t.Fatalf("missing dataset sections:\n%s", out)
+	}
+	if !strings.Contains(out, "ratio") {
+		t.Fatalf("missing ratio columns:\n%s", out)
+	}
+}

@@ -1,0 +1,218 @@
+// Sharded ingestion: s goroutine-owned Summary shards fed over channels,
+// merged on Finish by a Gonzalez pass over the union of shard centers —
+// the streaming analogue of MRG's partition/recluster rounds.
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"kcenter/internal/core"
+	"kcenter/internal/metric"
+)
+
+// ShardedConfig parameterizes a Sharded ingester.
+type ShardedConfig struct {
+	// K is the number of centers each shard maintains and the final merge
+	// returns.
+	K int
+	// Shards is the number of independent shard goroutines; 0 means 1.
+	Shards int
+	// Buffer is the per-shard channel depth; 0 means 256. Deeper buffers
+	// decouple producers from shard goroutines at the cost of memory.
+	Buffer int
+	// Metric configures every shard Summary and the final merge; nil means
+	// Euclidean.
+	Metric metric.Interface
+}
+
+// ShardStats reports one shard's final state.
+type ShardStats struct {
+	// Ingested is the number of points the shard consumed.
+	Ingested int64
+	// Centers is the retained center count (≤ k).
+	Centers int
+	// R is the shard's final doubling radius.
+	R float64
+	// Merges is the number of doubling rounds the shard executed.
+	Merges int
+}
+
+// Result is the outcome of a finished sharded stream.
+type Result struct {
+	// Centers holds the ≤ k final center coordinates. Every row is a
+	// genuine input point (shards retain only pushed points and the merge
+	// selects among them).
+	Centers *metric.Dataset
+	// Bound is the certified coverage radius: every ingested point lies
+	// within Bound of a row of Centers. It is MergeRadius plus the worst
+	// shard's 4r, and is at most 10·OPT (8·OPT with one shard, where
+	// MergeRadius is 0).
+	Bound float64
+	// LowerBound is a certified lower bound on the optimal radius: the
+	// largest r/2 over shards (shard sub-streams are subsets of the input,
+	// and OPT over a subset never exceeds OPT over the whole).
+	LowerBound float64
+	// MergeRadius is the Gonzalez covering radius over the union of shard
+	// centers (0 when the union already fits in k centers).
+	MergeRadius float64
+	// UnionSize is the number of shard centers the merge reclustered (≤ s·k).
+	UnionSize int
+	// Ingested is the total number of points pushed.
+	Ingested int64
+	// PerShard reports each shard's final state, indexed by shard.
+	PerShard []ShardStats
+}
+
+// Sharded fans an insertion-only point stream out across goroutine-owned
+// Summary shards. Push is safe for concurrent use by multiple producers;
+// Finish must be called exactly once, after every producer has returned
+// (callers join their producer goroutines first, as with closing any
+// channel).
+type Sharded struct {
+	cfg       ShardedConfig
+	chans     []chan []float64
+	summaries []*Summary
+	wg        sync.WaitGroup
+	next      atomic.Uint64
+	dim       atomic.Int64 // first-seen dimensionality; 0 = not yet set
+	finished  atomic.Bool
+	// mu makes the finished check and the channel send atomic with respect
+	// to Finish closing the channels: a Push racing Finish (a contract
+	// violation, but an easy one) gets the "Push after Finish" error
+	// instead of a send-on-closed-channel panic. Pushes hold the read side,
+	// so the common path stays concurrent.
+	mu sync.RWMutex
+}
+
+// NewSharded starts the shard goroutines and returns the ingester.
+func NewSharded(cfg ShardedConfig) (*Sharded, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("stream: k must be >= 1, got %d", cfg.K)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 256
+	}
+	sh := &Sharded{
+		cfg:       cfg,
+		chans:     make([]chan []float64, cfg.Shards),
+		summaries: make([]*Summary, cfg.Shards),
+	}
+	for i := range sh.chans {
+		sh.chans[i] = make(chan []float64, cfg.Buffer)
+		sh.summaries[i] = NewSummary(cfg.K, Options{Metric: cfg.Metric})
+		sh.wg.Add(1)
+		go func(i int) {
+			defer sh.wg.Done()
+			for p := range sh.chans[i] {
+				sh.summaries[i].Push(p)
+			}
+		}(i)
+	}
+	return sh, nil
+}
+
+// Push routes one point to a shard round-robin. The coordinates are copied,
+// so the caller may reuse p. With a single producer the routing — and hence
+// the final result — is deterministic for a fixed shard count.
+func (s *Sharded) Push(p []float64) error {
+	if len(p) == 0 {
+		return fmt.Errorf("stream: empty point")
+	}
+	d := int64(len(p))
+	if !s.dim.CompareAndSwap(0, d) {
+		if got := s.dim.Load(); got != d {
+			return fmt.Errorf("stream: point dimension %d, want %d", d, got)
+		}
+	}
+	cp := make([]float64, len(p))
+	copy(cp, p)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.finished.Load() {
+		return fmt.Errorf("stream: Push after Finish")
+	}
+	i := s.next.Add(1) - 1
+	s.chans[i%uint64(len(s.chans))] <- cp
+	return nil
+}
+
+// Finish drains the shards and merges their centers: the ≤ s·k union points
+// are reclustered with core.Gonzalez into ≤ k final centers, exactly as
+// MRG's final round runs GON over the collected reducer centers. It returns
+// an error when called twice or when nothing was pushed.
+func (s *Sharded) Finish() (*Result, error) {
+	if !s.finished.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("stream: Finish called twice")
+	}
+	// Take the write side so any in-flight Push completes its send before
+	// the channels close; the wait for shard drain happens after release so
+	// blocked pushes (full buffers) cannot deadlock against it.
+	s.mu.Lock()
+	for _, ch := range s.chans {
+		close(ch)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+
+	res := &Result{PerShard: make([]ShardStats, len(s.summaries))}
+	var union *metric.Dataset
+	var worstShardBound float64
+	for i, sum := range s.summaries {
+		res.PerShard[i] = ShardStats{
+			Ingested: sum.N(),
+			Centers:  sum.Count(),
+			R:        sum.R(),
+			Merges:   sum.Merges(),
+		}
+		res.Ingested += sum.N()
+		if sum.Bound() > worstShardBound {
+			worstShardBound = sum.Bound()
+		}
+		if lb := sum.LowerBound(); lb > res.LowerBound {
+			res.LowerBound = lb
+		}
+		if sum.Count() == 0 {
+			continue
+		}
+		if union == nil {
+			union = metric.NewDataset(0, sum.Dim())
+		}
+		if sum.Dim() != union.Dim {
+			return nil, fmt.Errorf("stream: shard %d dimension %d, want %d", i, sum.Dim(), union.Dim)
+		}
+		c := sum.Centers()
+		for j := 0; j < c.N; j++ {
+			union.Append(c.At(j))
+		}
+	}
+	if union == nil {
+		return nil, fmt.Errorf("stream: Finish on empty stream")
+	}
+	res.UnionSize = union.N
+
+	if union.N <= s.cfg.K {
+		// The union already fits: no recluster round needed (always the
+		// case with a single shard).
+		res.Centers = union
+		res.Bound = worstShardBound
+		return res, nil
+	}
+	g := core.Gonzalez(union, s.cfg.K, core.Options{First: 0})
+	if s.cfg.Metric != nil {
+		// core.Gonzalez selects under Euclidean; re-evaluate the covering
+		// radius of its picks under the configured metric so Bound stays a
+		// certificate (the selection itself remains a heuristic for
+		// non-Euclidean metrics).
+		res.MergeRadius = Cover(union, union.Subset(g.Centers), s.cfg.Metric)
+	} else {
+		res.MergeRadius = g.Radius
+	}
+	res.Centers = union.Subset(g.Centers)
+	res.Bound = res.MergeRadius + worstShardBound
+	return res, nil
+}

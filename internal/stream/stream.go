@@ -1,0 +1,267 @@
+// Package stream provides insertion-only streaming k-center: a bounded-memory
+// Summary implementing the doubling algorithm of Charikar, Chekuri, Feder and
+// Motwani, and a Sharded ingester that fans a point stream out across
+// goroutine-owned shards and merges their summaries with a Gonzalez pass —
+// the same two-level compose-then-recluster structure as the paper's MRG
+// (Algorithm 1), transplanted from batch partitions to live shards.
+//
+// The batch algorithms in this repository (core, mrg, eim) require the whole
+// dataset to be materialized before clustering starts. A Summary instead
+// maintains at most k centers and a lower-bound radius r with two invariants:
+//
+//	(I1) every ingested point lies within 4r of a retained center;
+//	(I2) retained centers are pairwise at least 2r apart.
+//
+// A new point within 4r of a center is discarded; otherwise it becomes a
+// center. When the center count would exceed k, (I2) certifies via the
+// pigeonhole principle that OPT ≥ r, so r is doubled and centers closer than
+// the new 2r are greedily merged. Both invariants survive the doubling
+// (4r_old + 2r_new = 4r_new), and r ≤ 2·OPT holds throughout, so the
+// retained centers cover the stream within 4r ≤ 8·OPT: the classic
+// 8-approximation in O(k) memory per stream, independent of n.
+//
+// Sharding composes the same way MRG's reducer rounds do: each shard holds a
+// sub-stream's 8-approximate summary, and the final Gonzalez pass over the
+// ≤ s·k union centers (all genuine input points) adds at most 2·OPT, giving
+// a 10-approximation overall (4r* from the worst shard plus the 2-approximate
+// recluster of the union).
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"kcenter/internal/metric"
+)
+
+// Options configures a Summary.
+type Options struct {
+	// Metric is the distance used for coverage and merging decisions; nil
+	// means Euclidean, which additionally enables the squared-distance fast
+	// path (comparisons avoid the square root entirely, as in core).
+	Metric metric.Interface
+}
+
+// Summary is a bounded-memory sketch of an insertion-only point stream for
+// the k-center objective. It retains at most k centers (coordinates copied
+// from ingested points) and a doubling radius r. A Summary is NOT safe for
+// concurrent use; Sharded owns one Summary per goroutine instead of sharing.
+type Summary struct {
+	k       int
+	m       metric.Interface // nil = Euclidean fast path on squared distances
+	centers *metric.Dataset  // ≤ k+1 rows; coordinates copied at Push time
+	r       float64          // doubling radius; 0 during the fill phase
+	n       int64            // points ingested
+	merges  int              // doubling rounds executed
+}
+
+// NewSummary returns an empty Summary targeting at most k centers. It panics
+// on k <= 0, a programming error in this repository's callers (matching
+// core.Gonzalez).
+func NewSummary(k int, opt Options) *Summary {
+	if k <= 0 {
+		panic(fmt.Sprintf("stream: NewSummary requires k >= 1, got %d", k))
+	}
+	return &Summary{k: k, m: opt.Metric}
+}
+
+// dist returns the distance between coordinate vectors a and b under the
+// configured metric.
+func (s *Summary) dist(a, b []float64) float64 {
+	if s.m == nil {
+		return math.Sqrt(metric.SqDist(a, b))
+	}
+	return s.m.Distance(a, b)
+}
+
+// nearest returns the minimum distance from p to the retained centers
+// (+Inf when none).
+func (s *Summary) nearest(p []float64) float64 {
+	if s.centers == nil || s.centers.N == 0 {
+		return math.Inf(1)
+	}
+	if s.m == nil {
+		best := math.Inf(1)
+		for i := 0; i < s.centers.N; i++ {
+			if sq := metric.SqDist(s.centers.At(i), p); sq < best {
+				best = sq
+			}
+		}
+		return math.Sqrt(best)
+	}
+	best := math.Inf(1)
+	for i := 0; i < s.centers.N; i++ {
+		if d := s.m.Distance(s.centers.At(i), p); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Push ingests one point. The coordinates are copied; the caller may reuse p.
+// Push panics on a dimension mismatch with previously pushed points, a
+// programming error (Sharded and the public facade validate dimensions and
+// return errors instead).
+func (s *Summary) Push(p []float64) {
+	if len(p) == 0 {
+		panic("stream: Push with empty point")
+	}
+	if s.centers == nil {
+		s.centers = metric.NewDataset(0, len(p))
+	} else if len(p) != s.centers.Dim {
+		panic(fmt.Sprintf("stream: Push dimension %d, want %d", len(p), s.centers.Dim))
+	}
+	s.n++
+
+	if s.r == 0 {
+		// Fill phase: every distinct point becomes a center (coverage is
+		// exact, so (I1) holds with r = 0). Exact duplicates are dropped.
+		if s.nearest(p) == 0 {
+			return
+		}
+		s.centers.Append(p)
+		if s.centers.N <= s.k {
+			return
+		}
+		// First overflow: k+1 distinct points. Initialize r to half the
+		// minimum pairwise distance, which makes (I2) hold with equality on
+		// the closest pair and certifies OPT ≥ r (any k-clustering of k+1
+		// points pairwise ≥ 2r puts two of them within 2·radius of each
+		// other, so radius ≥ r).
+		dmin := math.Inf(1)
+		for i := 0; i < s.centers.N; i++ {
+			for j := i + 1; j < s.centers.N; j++ {
+				if d := s.dist(s.centers.At(i), s.centers.At(j)); d < dmin {
+					dmin = d
+				}
+			}
+		}
+		s.r = dmin / 2
+		s.mergeDown()
+		return
+	}
+
+	// Steady state: discard covered points, retain escapers as centers.
+	if s.nearest(p) <= 4*s.r {
+		return
+	}
+	s.centers.Append(p)
+	if s.centers.N > s.k {
+		s.mergeDown()
+	}
+}
+
+// mergeDown restores |centers| ≤ k by doubling r and greedily dropping every
+// center within 2r of an earlier-retained one. Each doubling is justified by
+// (I2): while more than k centers remain they are pairwise ≥ 2r apart, so
+// OPT ≥ r and the doubled radius still satisfies r ≤ 2·OPT. Coverage
+// survives because a dropped center (whose points lay within 4r_old of it)
+// sits within 2r_new = 4r_old of a kept center: 4r_old + 2r_new = 4r_new.
+func (s *Summary) mergeDown() {
+	for s.centers.N > s.k {
+		s.r *= 2
+		s.merges++
+		keep := make([]int, 0, s.centers.N)
+		for i := 0; i < s.centers.N; i++ {
+			p := s.centers.At(i)
+			ok := true
+			for _, j := range keep {
+				if s.dist(s.centers.At(j), p) <= 2*s.r {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				keep = append(keep, i)
+			}
+		}
+		s.centers = s.centers.Subset(keep)
+	}
+}
+
+// Centers returns the retained center coordinates (≤ k rows). The returned
+// dataset is a copy; mutating it does not affect the Summary. It is nil when
+// nothing has been pushed.
+func (s *Summary) Centers() *metric.Dataset {
+	if s.centers == nil {
+		return nil
+	}
+	return s.centers.Clone()
+}
+
+// Count returns the number of retained centers.
+func (s *Summary) Count() int {
+	if s.centers == nil {
+		return 0
+	}
+	return s.centers.N
+}
+
+// N returns the number of points ingested.
+func (s *Summary) N() int64 { return s.n }
+
+// R returns the current doubling radius r. It is 0 while the stream still
+// fits in k centers exactly; once positive it satisfies r ≤ 2·OPT over the
+// ingested prefix.
+func (s *Summary) R() float64 { return s.r }
+
+// Bound returns the certified coverage bound 4r: every ingested point lies
+// within Bound of some retained center, and Bound ≤ 8·OPT. It is 0 during
+// the fill phase, when the centers cover the stream exactly.
+func (s *Summary) Bound() float64 { return 4 * s.r }
+
+// LowerBound returns a certified lower bound r/2 on the optimal k-center
+// radius of the ingested points (0 while the stream fits in k centers).
+func (s *Summary) LowerBound() float64 { return s.r / 2 }
+
+// Merges returns how many doubling rounds have run, a diagnostic for tests
+// and the harness.
+func (s *Summary) Merges() int { return s.merges }
+
+// Dim returns the point dimensionality (0 before the first Push).
+func (s *Summary) Dim() int {
+	if s.centers == nil {
+		return 0
+	}
+	return s.centers.Dim
+}
+
+// Cover returns the realized covering radius of coordinate centers over ds:
+// the maximum over points of the distance to the nearest center row. It is
+// the evaluation primitive for streaming results, whose centers are
+// coordinates rather than dataset indices (the stream never materializes the
+// dataset, so index-based assign.Radius does not apply).
+func Cover(ds *metric.Dataset, centers *metric.Dataset, m metric.Interface) float64 {
+	if centers == nil || centers.N == 0 {
+		panic("stream: Cover with no centers")
+	}
+	var worst float64
+	if m == nil {
+		for i := 0; i < ds.N; i++ {
+			p := ds.At(i)
+			best := math.Inf(1)
+			for j := 0; j < centers.N; j++ {
+				if sq := metric.SqDist(p, centers.At(j)); sq < best {
+					best = sq
+				}
+			}
+			if best > worst {
+				worst = best
+			}
+		}
+		return math.Sqrt(worst)
+	}
+	for i := 0; i < ds.N; i++ {
+		p := ds.At(i)
+		best := math.Inf(1)
+		for j := 0; j < centers.N; j++ {
+			if d := m.Distance(p, centers.At(j)); d < best {
+				best = d
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst
+}

@@ -15,16 +15,41 @@
 //   - EIM: the paper's generalization of Ene–Im–Moseley iterative sampling,
 //     with the pivot parameter φ trading approximation confidence for speed
 //     (φ = 8 reproduces the original 10-approximation algorithm).
+//   - Stream: insertion-only streaming k-center via the doubling algorithm,
+//     with optional sharded concurrent ingestion. Memory is O(s·k),
+//     independent of the stream length — points are never materialized.
 //
 // Parallel algorithms run on a simulated MapReduce cluster (m machines,
 // default 50 as in the paper); reported runtimes follow the paper's cost
 // model: per-round maximum over machines, summed over rounds.
 //
-// Quick start:
+// Quick start (batch):
 //
 //	ds, _ := kcenter.NewDataset(points)          // [][]float64, equal dims
 //	res, _ := kcenter.MRG(ds, 10, kcenter.MRGOptions{})
 //	fmt.Println(res.Radius, res.Centers)
+//
+// # Streaming
+//
+// NewStream opens an ingester that never stores the points it sees. Each of
+// its s shards (goroutine-owned, fed over channels) runs the doubling
+// algorithm: it keeps at most k centers and a radius r such that every
+// point seen so far lies within 4r of a center and r ≤ 2·OPT; on overflow r
+// doubles and nearby centers merge. Finish reclusters the ≤ s·k shard
+// centers with Gonzalez — the same two-level composition as the paper's MRG,
+// with shards in place of mapper partitions — and returns centers covering
+// the whole stream within 8·OPT (one shard) or 10·OPT (many shards):
+//
+//	st, _ := kcenter.NewStream(10, kcenter.StreamOptions{Shards: 4})
+//	for row := range feed {                      // any insertion-only source
+//		st.Push(row)                             // safe from many goroutines
+//	}
+//	res, _ := st.Finish()
+//	fmt.Println(res.Radius, res.Centers)         // certified coverage bound
+//
+// Push is safe for concurrent producers; call Finish once, after all
+// producers have returned. StreamResult centers are coordinates (copies of
+// genuine input points), not dataset indices — there is no dataset.
 package kcenter
 
 import (
@@ -38,6 +63,7 @@ import (
 	"kcenter/internal/mapreduce"
 	"kcenter/internal/metric"
 	"kcenter/internal/mrg"
+	"kcenter/internal/stream"
 )
 
 // Dataset holds n points of equal dimension in a contiguous layout.
@@ -198,6 +224,127 @@ func EIM(d *Dataset, k int, opt EIMOptions) (*Result, error) {
 		ApproxFactor:     factor,
 		SimulatedSeconds: res.Stats.SimulatedWall().Seconds(),
 	}, nil
+}
+
+// StreamOptions configures a streaming ingester.
+type StreamOptions struct {
+	// Shards is the number of concurrent shard goroutines; 0 means 1.
+	// More shards raise ingestion throughput and loosen the certified
+	// approximation factor from 8 to 10; with a single producer and a fixed
+	// shard count the result is deterministic.
+	Shards int
+	// Metric names the distance: "" or "euclidean" (fast path),
+	// "manhattan", or "chebyshev". The guarantees hold for any metric
+	// satisfying the triangle inequality.
+	Metric string
+	// Buffer is the per-shard channel depth; 0 means 256.
+	Buffer int
+}
+
+// Stream ingests an insertion-only point stream in O(Shards·k) memory.
+// Create with NewStream, feed with Push (safe for concurrent producers) and
+// close with Finish.
+type Stream struct {
+	sh     *stream.Sharded
+	shards int
+}
+
+// StreamResult describes a finished stream's k-center solution.
+type StreamResult struct {
+	// Centers holds the ≤ k center coordinates; every row is a copy of a
+	// genuine input point. (Unlike Result.Centers these are not dataset
+	// indices — the stream never materializes a dataset.)
+	Centers [][]float64
+	// Radius is the certified coverage bound: every ingested point lies
+	// within Radius of some center. It is at most ApproxFactor·OPT.
+	Radius float64
+	// LowerBound is a certified lower bound on the optimal radius;
+	// LowerBound ≤ OPT ≤ Radius brackets the true objective.
+	LowerBound float64
+	// ApproxFactor is the guarantee under which Radius was produced: 8 for
+	// a single shard, 10 for sharded ingestion.
+	ApproxFactor float64
+	// Ingested is the number of points pushed.
+	Ingested int64
+}
+
+// NewStream opens a streaming ingester for at most k centers.
+func NewStream(k int, opt StreamOptions) (*Stream, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("kcenter: k must be >= 1, got %d", k)
+	}
+	var m metric.Interface
+	switch opt.Metric {
+	case "", "euclidean":
+		m = nil
+	case "manhattan":
+		m = metric.Manhattan{}
+	case "chebyshev":
+		m = metric.Chebyshev{}
+	default:
+		return nil, fmt.Errorf("kcenter: unknown metric %q (want euclidean, manhattan or chebyshev)", opt.Metric)
+	}
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	sh, err := stream.NewSharded(stream.ShardedConfig{
+		K:      k,
+		Shards: shards,
+		Buffer: opt.Buffer,
+		Metric: m,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{sh: sh, shards: shards}, nil
+}
+
+// Push ingests one point. The coordinates are copied; the caller may reuse
+// the slice. Push is safe for concurrent use by multiple producers.
+func (s *Stream) Push(p []float64) error { return s.sh.Push(p) }
+
+// Finish drains the shards, merges their centers and returns the solution.
+// Call it exactly once, after every producer goroutine has returned.
+func (s *Stream) Finish() (*StreamResult, error) {
+	res, err := s.sh.Finish()
+	if err != nil {
+		return nil, err
+	}
+	centers := make([][]float64, res.Centers.N)
+	for i := range centers {
+		centers[i] = append([]float64(nil), res.Centers.At(i)...)
+	}
+	factor := 8.0
+	if s.shards > 1 {
+		factor = 10
+	}
+	return &StreamResult{
+		Centers:      centers,
+		Radius:       res.Bound,
+		LowerBound:   res.LowerBound,
+		ApproxFactor: factor,
+		Ingested:     res.Ingested,
+	}, nil
+}
+
+// RadiusPoints evaluates the covering radius of explicit coordinate centers
+// (e.g. a StreamResult's) over a materialized dataset.
+func RadiusPoints(d *Dataset, centers [][]float64) (float64, error) {
+	if d == nil || d.m == nil || d.m.N == 0 {
+		return 0, fmt.Errorf("kcenter: empty dataset")
+	}
+	if len(centers) == 0 {
+		return 0, fmt.Errorf("kcenter: no centers")
+	}
+	c, err := metric.FromPoints(centers)
+	if err != nil {
+		return 0, err
+	}
+	if c.Dim != d.m.Dim {
+		return 0, fmt.Errorf("kcenter: center dimension %d, want %d", c.Dim, d.m.Dim)
+	}
+	return stream.Cover(d.m, c, nil), nil
 }
 
 // Radius evaluates the covering radius of an explicit center set.

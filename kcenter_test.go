@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"kcenter/internal/dataset"
 )
 
 func grid(t *testing.T) *Dataset {
@@ -185,4 +187,137 @@ func TestGeneratorsFacade(t *testing.T) {
 	if res.Radius > 10 {
 		t.Fatalf("clustered generator radius %v", res.Radius)
 	}
+}
+
+// TestStreamWithin8xGonzalez is the streaming acceptance gate: on every
+// harness dataset family, NewStream → Push → Finish must return centers
+// whose realized covering radius is within 8× of core.Gonzalez's batch
+// radius. The run is fully deterministic: fixed seeds, a single producer and
+// a fixed shard count make the round-robin routing, every shard summary and
+// the final merge reproducible. For one shard the 8× band is certified
+// (Bound ≤ 8·OPT ≤ 8·GON); for four shards it is the empirical reading of
+// the 10·OPT certificate, locked in by determinism.
+func TestStreamWithin8xGonzalez(t *testing.T) {
+	datasets := []struct {
+		name string
+		ds   *Dataset
+	}{
+		{"unif", Uniform(20000, 1)},
+		{"gau", Clustered(20000, 25, 2)},
+		{"unb", unbDataset(20000, 25, 3)},
+		{"poker", pokerDataset()},
+		{"kdd", kddDataset(20000, 4)},
+	}
+	const k = 10
+	for _, d := range datasets {
+		gon, err := Gonzalez(d.ds, k)
+		if err != nil {
+			t.Fatalf("%s: %v", d.name, err)
+		}
+		for _, shards := range []int{1, 4} {
+			st, err := NewStream(k, StreamOptions{Shards: shards})
+			if err != nil {
+				t.Fatalf("%s: %v", d.name, err)
+			}
+			for i := 0; i < d.ds.Len(); i++ {
+				if err := st.Push(d.ds.At(i)); err != nil {
+					t.Fatalf("%s: %v", d.name, err)
+				}
+			}
+			res, err := st.Finish()
+			if err != nil {
+				t.Fatalf("%s: %v", d.name, err)
+			}
+			if res.Ingested != int64(d.ds.Len()) {
+				t.Fatalf("%s shards=%d: ingested %d, want %d", d.name, shards, res.Ingested, d.ds.Len())
+			}
+			if len(res.Centers) == 0 || len(res.Centers) > k {
+				t.Fatalf("%s shards=%d: %d centers", d.name, shards, len(res.Centers))
+			}
+			realized, err := RadiusPoints(d.ds, res.Centers)
+			if err != nil {
+				t.Fatalf("%s: %v", d.name, err)
+			}
+			if realized > res.Radius+1e-9 {
+				t.Fatalf("%s shards=%d: realized %g escapes certified bound %g",
+					d.name, shards, realized, res.Radius)
+			}
+			if realized > 8*gon.Radius {
+				t.Fatalf("%s shards=%d: streaming radius %g > 8·GON = %g",
+					d.name, shards, realized, 8*gon.Radius)
+			}
+			if res.LowerBound > gon.Radius+1e-9 {
+				t.Fatalf("%s shards=%d: lower bound %g > GON %g",
+					d.name, shards, res.LowerBound, gon.Radius)
+			}
+		}
+	}
+}
+
+func TestStreamFacadeValidation(t *testing.T) {
+	if _, err := NewStream(0, StreamOptions{}); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := NewStream(3, StreamOptions{Metric: "hamming"}); err == nil {
+		t.Fatal("unknown metric should fail")
+	}
+	st, err := NewStream(2, StreamOptions{Metric: "manhattan"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][]float64{{0, 0}, {1, 1}, {5, 5}, {6, 6}} {
+		if err := st.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := st.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) > 2 || res.ApproxFactor != 8 {
+		t.Fatalf("%+v", res)
+	}
+	if err := st.Push([]float64{9, 9}); err == nil {
+		t.Fatal("Push after Finish should fail")
+	}
+	if _, err := st.Finish(); err == nil {
+		t.Fatal("double Finish should fail")
+	}
+}
+
+func TestRadiusPointsValidation(t *testing.T) {
+	d := grid(t)
+	if _, err := RadiusPoints(nil, [][]float64{{0, 0}}); err == nil {
+		t.Fatal("nil dataset should fail")
+	}
+	if _, err := RadiusPoints(d, nil); err == nil {
+		t.Fatal("no centers should fail")
+	}
+	if _, err := RadiusPoints(d, [][]float64{{0, 0, 0}}); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+	// A center on every corner of the 20×20 grid: the worst points are the
+	// central ones like (9,9), at distance hypot(9,9) from their corner.
+	got, err := RadiusPoints(d, [][]float64{{0, 0}, {19, 0}, {0, 19}, {19, 19}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Hypot(9, 9)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("radius %g, want %g", got, want)
+	}
+}
+
+// Helpers exposing the remaining harness dataset families (unb, poker, kdd)
+// to facade-level tests; the public constructors cover only unif and gau.
+func unbDataset(n, kPrime int, seed uint64) *Dataset {
+	return &Dataset{m: dataset.Unb(dataset.GauConfig{N: n, KPrime: kPrime, Seed: seed}).Points}
+}
+
+func pokerDataset() *Dataset {
+	return &Dataset{m: dataset.PokerLike(5).Points}
+}
+
+func kddDataset(n int, seed uint64) *Dataset {
+	return &Dataset{m: dataset.KDDLike(dataset.KDDLikeConfig{N: n, Seed: seed}).Points}
 }

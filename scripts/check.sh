@@ -1,0 +1,21 @@
+#!/bin/sh
+# Canonical tier-1 gate, mirroring `make check` for environments without
+# make. Runs vet, build, the full test suite, and the race-detector pass
+# over the concurrent streaming ingestion path.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race -short ./internal/stream/..."
+go test -race -short ./internal/stream/...
+
+echo "OK"
