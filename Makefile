@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-smoke bench-all
 
-check: vet build test race
+check: vet build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,5 +22,16 @@ test:
 race:
 	$(GO) test -race -short ./internal/stream/...
 
+# Tier-1 bench smoke: one iteration of the kernel/assign/Gonzalez/stream
+# benchmarks, JSON written to a scratch path so the committed baseline is
+# untouched (see scripts/bench.sh).
+bench-smoke:
+	OUT=$${TMPDIR:-/tmp}/BENCH_kernels.smoke.json sh scripts/bench.sh
+
+# Regenerate the committed BENCH_kernels.json baseline with stable timings.
 bench:
+	BENCHTIME=$${BENCHTIME:-2s} sh scripts/bench.sh
+
+# The full paper-artifact suite (figures/tables/ablations), one iteration.
+bench-all:
 	$(GO) test -run XXX -bench . -benchtime 1x .

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"time"
 
 	"kcenter"
 )
@@ -48,6 +49,21 @@ func main() {
 			}
 		}(p)
 	}
+
+	// Live query while producers are still pushing: Centers() snapshots the
+	// current clustering under per-shard read locks, so a serving path can
+	// answer "where are the clusters right now?" without stopping ingestion.
+	// Each snapshot locks every shard briefly — poll gently, don't spin.
+	for {
+		mid, err := st.Centers()
+		if err != nil {
+			time.Sleep(time.Millisecond) // nothing drained yet
+			continue
+		}
+		fmt.Printf("mid-stream snapshot: %d centers while ingestion runs\n", len(mid))
+		break
+	}
+
 	wg.Wait() // all producers done; only now may Finish run
 
 	res, err := st.Finish()

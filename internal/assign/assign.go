@@ -4,6 +4,12 @@
 // goroutine pool; it is *not* charged to the simulated MapReduce cost model,
 // because the paper reports solution values as a property of the output, not
 // as algorithm runtime.
+//
+// Nearest-center queries go through metric.Pruned: a k×k center-center
+// distance matrix, computed once per evaluation, lets each point's scan skip
+// any center c' with d(c_best, c') >= 2·d(p, c_best) (triangle-inequality
+// pruning), making assignment sub-linear in k in the common case while
+// producing bit-identical assignments, distances and radii.
 package assign
 
 import (
@@ -29,7 +35,10 @@ type Evaluation struct {
 	Farthest int
 	// ClusterSizes[c] counts points assigned to centers[c].
 	ClusterSizes []int
-	// DistEvals counts distance evaluations (n · |centers|).
+	// DistEvals counts the distance evaluations actually performed: k² for
+	// the center-center pruning matrix plus the per-point evaluations the
+	// triangle-inequality pruning could not skip. It is at most
+	// k² + n·|centers| and typically far below the unpruned n·|centers|.
 	DistEvals int64
 }
 
@@ -47,15 +56,19 @@ func Evaluate(ds *metric.Dataset, centers []int, workers int) *Evaluation {
 		Assignment:   make([]int, n),
 		Dist:         make([]float64, n),
 		ClusterSizes: make([]int, len(centers)),
-		DistEvals:    int64(n) * int64(len(centers)),
 		Farthest:     -1,
 	}
-	// Copy center coordinates once so the inner loop reads a compact block.
-	cpts := ds.Subset(centers)
+	// Copy center coordinates once so the inner loop reads a compact block,
+	// and precompute the center-center matrix that lets each point's scan
+	// skip centers the triangle inequality rules out. Pruned is immutable,
+	// so all workers share it.
+	pr := metric.NewPruned(ds.Subset(centers))
+	ev.DistEvals = pr.MatrixEvals()
 
 	type partial struct {
 		radiusSq float64
 		farthest int
+		evals    int64
 		sizes    []int
 	}
 	if workers > n {
@@ -81,14 +94,8 @@ func Evaluate(ds *metric.Dataset, centers []int, workers int) *Evaluation {
 			defer wg.Done()
 			p := partial{farthest: -1, sizes: make([]int, len(centers))}
 			for i := lo; i < hi; i++ {
-				pt := ds.At(i)
-				bestSq, bestC := math.Inf(1), 0
-				for c := 0; c < cpts.N; c++ {
-					if sq := metric.SqDist(pt, cpts.At(c)); sq < bestSq {
-						bestSq = sq
-						bestC = c
-					}
-				}
+				bestC, bestSq, evals := pr.Nearest(ds.At(i))
+				p.evals += evals
 				ev.Assignment[i] = bestC
 				ev.Dist[i] = math.Sqrt(bestSq)
 				p.sizes[bestC]++
@@ -108,6 +115,7 @@ func Evaluate(ds *metric.Dataset, centers []int, workers int) *Evaluation {
 			radiusSq = p.radiusSq
 			ev.Farthest = p.farthest
 		}
+		ev.DistEvals += p.evals
 		for c, s := range p.sizes {
 			ev.ClusterSizes[c] += s
 		}

@@ -1,0 +1,32 @@
+package assign
+
+import (
+	"testing"
+
+	"kcenter/internal/core"
+	"kcenter/internal/dataset"
+	"kcenter/internal/metric"
+)
+
+// The acceptance workloads for the kernel-engine PR: 2-D UNIF and GAU at
+// n=50k, k=25 — the paper's most common experimental configuration. These
+// feed BENCH_kernels.json, so their names are part of the perf trajectory.
+
+func benchWorkload(b *testing.B, ds *metric.Dataset, k int) {
+	b.Helper()
+	res := core.Gonzalez(ds, k, core.Options{First: 0})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evaluate(ds, res.Centers, 0)
+	}
+}
+
+func BenchmarkEvaluateUNIF2D(b *testing.B) {
+	l := dataset.Unif(dataset.UnifConfig{N: 50000, Seed: 3})
+	benchWorkload(b, l.Points, 25)
+}
+
+func BenchmarkEvaluateGAU2D(b *testing.B) {
+	l := dataset.Gau(dataset.GauConfig{N: 50000, KPrime: 25, Seed: 2})
+	benchWorkload(b, l.Points, 25)
+}

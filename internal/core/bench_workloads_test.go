@@ -1,0 +1,27 @@
+package core
+
+import (
+	"testing"
+
+	"kcenter/internal/dataset"
+)
+
+// The acceptance workloads for the kernel-engine PR: the full Gonzalez
+// relaxation (k one-to-many RelaxFarthest passes) on 2-D UNIF and GAU at
+// n=50k, k=25. These feed BENCH_kernels.json.
+
+func BenchmarkGonzalezUNIF2D(b *testing.B) {
+	l := dataset.Unif(dataset.UnifConfig{N: 50000, Seed: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gonzalez(l.Points, 25, Options{First: 0})
+	}
+}
+
+func BenchmarkGonzalezGAU2D(b *testing.B) {
+	l := dataset.Gau(dataset.GauConfig{N: 50000, KPrime: 25, Seed: 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gonzalez(l.Points, 25, Options{First: 0})
+	}
+}

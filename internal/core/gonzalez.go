@@ -52,6 +52,13 @@ type Options struct {
 // the radius is zero). It panics on k <= 0 or an empty dataset, which are
 // programming errors in this repository's callers.
 func Gonzalez(ds *metric.Dataset, k int, opt Options) *Result {
+	return gonzalez(ds, k, opt, true)
+}
+
+// gonzalez is the traversal behind Gonzalez and GonzalezSubset; wantMinDist
+// gates the O(n) per-point distance materialization, which reducer-side
+// callers never consume.
+func gonzalez(ds *metric.Dataset, k int, opt Options, wantMinDist bool) *Result {
 	if k <= 0 {
 		panic(fmt.Sprintf("core: Gonzalez requires k >= 1, got %d", k))
 	}
@@ -78,7 +85,9 @@ func Gonzalez(ds *metric.Dataset, k int, opt Options) *Result {
 	// minSq[i] tracks the squared distance from point i to the nearest
 	// chosen center. Squared distances are monotone in true distances, so
 	// the argmax (next center) and the final radius (after one Sqrt) are
-	// exact.
+	// exact. The relaxation itself is the fused one-to-many kernel
+	// metric.RelaxFarthest, which scans the flat backing array with a
+	// dimension-specialized body and bit-identical tie-breaking.
 	minSq := make([]float64, n)
 	for i := range minSq {
 		minSq[i] = math.Inf(1)
@@ -86,17 +95,7 @@ func Gonzalez(ds *metric.Dataset, k int, opt Options) *Result {
 	center := first
 	for len(res.Centers) < k {
 		res.Centers = append(res.Centers, center)
-		cp := ds.At(center)
-		next, far := center, -1.0
-		for i := 0; i < n; i++ {
-			if sq := metric.SqDist(ds.At(i), cp); sq < minSq[i] {
-				minSq[i] = sq
-			}
-			if minSq[i] > far {
-				far = minSq[i]
-				next = i
-			}
-		}
+		next, far := metric.RelaxFarthest(ds, 0, n, ds.At(center), minSq)
 		res.DistEvals += int64(n)
 		if len(res.Centers) == k {
 			res.Radius = math.Sqrt(far)
@@ -110,9 +109,11 @@ func Gonzalez(ds *metric.Dataset, k int, opt Options) *Result {
 		}
 		center = next
 	}
-	res.MinDist = make([]float64, n)
-	for i, sq := range minSq {
-		res.MinDist[i] = math.Sqrt(sq)
+	if wantMinDist {
+		res.MinDist = make([]float64, n)
+		for i, sq := range minSq {
+			res.MinDist[i] = math.Sqrt(sq)
+		}
 	}
 	return res
 }
@@ -120,60 +121,28 @@ func Gonzalez(ds *metric.Dataset, k int, opt Options) *Result {
 // GonzalezSubset runs the farthest-first traversal restricted to the points
 // named by idx (indices into ds) and returns centers as indices into ds.
 // It is the reducer-side primitive of MRG: a reducer receives a partition of
-// the point set and runs GON on just that partition without copying the
-// coordinates.
+// the point set and runs GON on just that partition.
+//
+// The partition is gathered into a contiguous scratch dataset first — one
+// O(n·dim) copy — so the k relaxation passes run on the flat one-to-many
+// kernels instead of chasing idx indirections point by point. The gathered
+// coordinates are bit-equal copies scanned in idx order, so the selected
+// centers, radius and evaluation count are identical to the direct
+// formulation.
 func GonzalezSubset(ds *metric.Dataset, idx []int, k int, opt Options) *Result {
 	if k <= 0 {
 		panic(fmt.Sprintf("core: GonzalezSubset requires k >= 1, got %d", k))
 	}
-	n := len(idx)
-	if n == 0 {
+	if len(idx) == 0 {
 		panic("core: GonzalezSubset on empty subset")
 	}
-	if k > n {
-		k = n
-	}
-	firstPos := opt.First
-	if firstPos < 0 {
-		if opt.Rand != nil {
-			firstPos = opt.Rand.Intn(n)
-		} else {
-			firstPos = 0
-		}
-	}
-	if firstPos >= n {
-		panic(fmt.Sprintf("core: first center position %d out of range [0,%d)", firstPos, n))
-	}
-
-	res := &Result{Centers: make([]int, 0, k)}
-	minSq := make([]float64, n)
-	for i := range minSq {
-		minSq[i] = math.Inf(1)
-	}
-	pos := firstPos
-	for len(res.Centers) < k {
-		res.Centers = append(res.Centers, idx[pos])
-		cp := ds.At(idx[pos])
-		next, far := pos, -1.0
-		for i := 0; i < n; i++ {
-			if sq := metric.SqDist(ds.At(idx[i]), cp); sq < minSq[i] {
-				minSq[i] = sq
-			}
-			if minSq[i] > far {
-				far = minSq[i]
-				next = i
-			}
-		}
-		res.DistEvals += int64(n)
-		if len(res.Centers) == k {
-			res.Radius = math.Sqrt(far)
-			break
-		}
-		if far == 0 {
-			res.Radius = 0
-			break
-		}
-		pos = next
+	sub := ds.Subset(idx)
+	// Subset results never materialize per-point distances (they would be
+	// indexed by position, not dataset index, and no reducer-side caller
+	// wants them), so the traversal skips that O(n) pass entirely.
+	res := gonzalez(sub, k, opt, false)
+	for i, pos := range res.Centers {
+		res.Centers[i] = idx[pos]
 	}
 	return res
 }
@@ -185,23 +154,16 @@ func CoveringRadius(ds *metric.Dataset, centers []int) (float64, int64) {
 	if len(centers) == 0 {
 		panic("core: CoveringRadius with no centers")
 	}
+	// Gather the centers once so the per-point scan is a contiguous
+	// one-to-many kernel call instead of k index chases.
+	cpts := ds.Subset(centers)
 	var worst float64
-	var evals int64
 	for i := 0; i < ds.N; i++ {
-		p := ds.At(i)
-		best := math.Inf(1)
-		for _, c := range centers {
-			sq := metric.SqDist(p, ds.At(c))
-			evals++
-			if sq < best {
-				best = sq
-			}
-		}
-		if best > worst {
+		if _, best := metric.NearestInRange(cpts, 0, cpts.N, ds.At(i)); best > worst {
 			worst = best
 		}
 	}
-	return math.Sqrt(worst), evals
+	return math.Sqrt(worst), int64(ds.N) * int64(len(centers))
 }
 
 // FarthestFirstDistances runs the traversal k+1 steps and returns the
@@ -227,12 +189,7 @@ func FarthestFirstDistances(ds *metric.Dataset, steps int, opt Options) []float6
 		if step > 0 {
 			dists = append(dists, math.Sqrt(minSq[c]))
 		}
-		cp := ds.At(c)
-		for i := 0; i < ds.N; i++ {
-			if sq := metric.SqDist(ds.At(i), cp); sq < minSq[i] {
-				minSq[i] = sq
-			}
-		}
+		metric.RelaxFarthest(ds, 0, ds.N, ds.At(c), minSq)
 	}
 	return dists
 }

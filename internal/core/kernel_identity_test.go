@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"kcenter/internal/dataset"
+	"kcenter/internal/metric"
+)
+
+// gonzalezReference is the pre-kernel formulation of the traversal — the
+// per-point SqDist loop the fused RelaxFarthest kernel replaced. The
+// kernel-backed Gonzalez must reproduce it bit for bit: same centers,
+// same radius, same MinDist.
+func gonzalezReference(ds *metric.Dataset, k, first int) *Result {
+	n := ds.N
+	if k > n {
+		k = n
+	}
+	res := &Result{Centers: make([]int, 0, k)}
+	minSq := make([]float64, n)
+	for i := range minSq {
+		minSq[i] = math.Inf(1)
+	}
+	center := first
+	for len(res.Centers) < k {
+		res.Centers = append(res.Centers, center)
+		cp := ds.At(center)
+		next, far := center, -1.0
+		for i := 0; i < n; i++ {
+			if sq := metric.SqDist(ds.At(i), cp); sq < minSq[i] {
+				minSq[i] = sq
+			}
+			if minSq[i] > far {
+				far = minSq[i]
+				next = i
+			}
+		}
+		res.DistEvals += int64(n)
+		if len(res.Centers) == k {
+			res.Radius = math.Sqrt(far)
+			break
+		}
+		if far == 0 {
+			res.Radius = 0
+			break
+		}
+		center = next
+	}
+	res.MinDist = make([]float64, n)
+	for i, sq := range minSq {
+		res.MinDist[i] = math.Sqrt(sq)
+	}
+	return res
+}
+
+// TestGonzalezBitIdenticalToReference pins the kernel rewrite against the
+// reference loop across the paper's workload families, dimensions hitting
+// every specialized kernel plus the generic fallback, and several first
+// centers.
+func TestGonzalezBitIdenticalToReference(t *testing.T) {
+	workloads := []struct {
+		name string
+		ds   *metric.Dataset
+		k    int
+	}{
+		{"UNIF-2D", dataset.Unif(dataset.UnifConfig{N: 4000, Seed: 41}).Points, 25},
+		{"GAU-2D", dataset.Gau(dataset.GauConfig{N: 4000, KPrime: 25, Seed: 42}).Points, 25},
+		{"GAU-3D", dataset.Gau(dataset.GauConfig{N: 3000, KPrime: 10, Dim: 3, Seed: 43}).Points, 10},
+		{"UNIF-4D", dataset.Unif(dataset.UnifConfig{N: 3000, Dim: 4, Seed: 44}).Points, 8},
+		{"UNIF-8D", dataset.Unif(dataset.UnifConfig{N: 2000, Dim: 8, Seed: 45}).Points, 8},
+		{"UNIF-5D", dataset.Unif(dataset.UnifConfig{N: 2000, Dim: 5, Seed: 46}).Points, 8},
+	}
+	for _, w := range workloads {
+		for _, first := range []int{0, w.ds.N / 2, w.ds.N - 1} {
+			want := gonzalezReference(w.ds, w.k, first)
+			got := Gonzalez(w.ds, w.k, Options{First: first})
+			if len(got.Centers) != len(want.Centers) {
+				t.Fatalf("%s first=%d: %d centers != %d", w.name, first, len(got.Centers), len(want.Centers))
+			}
+			for i := range want.Centers {
+				if got.Centers[i] != want.Centers[i] {
+					t.Fatalf("%s first=%d: center %d is %d, reference %d", w.name, first, i, got.Centers[i], want.Centers[i])
+				}
+			}
+			if got.Radius != want.Radius {
+				t.Fatalf("%s first=%d: radius %v != %v", w.name, first, got.Radius, want.Radius)
+			}
+			if got.DistEvals != want.DistEvals {
+				t.Fatalf("%s first=%d: evals %d != %d", w.name, first, got.DistEvals, want.DistEvals)
+			}
+			for i := range want.MinDist {
+				if got.MinDist[i] != want.MinDist[i] {
+					t.Fatalf("%s first=%d: MinDist[%d] %v != %v", w.name, first, i, got.MinDist[i], want.MinDist[i])
+				}
+			}
+		}
+	}
+}

@@ -85,16 +85,7 @@ func GonzalezParallel(ds *metric.Dataset, k int, opt Options, workers int) *Resu
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
-				far, next := -1.0, lo
-				for i := lo; i < hi; i++ {
-					if sq := metric.SqDist(ds.At(i), cp); sq < minSq[i] {
-						minSq[i] = sq
-					}
-					if minSq[i] > far {
-						far = minSq[i]
-						next = i
-					}
-				}
+				next, far := metric.RelaxFarthest(ds, lo, hi, cp, minSq)
 				partials[w] = partial{far: far, next: next}
 			}(w, lo, hi)
 		}

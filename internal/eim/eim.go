@@ -221,6 +221,15 @@ func Run(ds *metric.Dataset, cfg Config) (*Result, error) {
 		it.Sampled = sampled
 		it.HSize = len(H)
 
+		// Gather S once per iteration: rounds 2 and 3 both scan every point
+		// against S, and a contiguous copy turns those scans into flat
+		// one-to-many kernel calls instead of per-index slice chasing. The
+		// gathered coordinates are bit-equal, so distances are unchanged.
+		var sGathered *metric.Dataset
+		if len(S) > 0 {
+			sGathered = ds.Subset(S)
+		}
+
 		// ---- Round 2: pivot selection on one machine (lines 5–6). ----
 		// H, S and their cross distances fit one machine; enforce the
 		// configured capacity if any.
@@ -238,7 +247,7 @@ func Run(ds *metric.Dataset, cfg Config) (*Result, error) {
 			}
 			dH := make([]float64, len(H))
 			for i, h := range H {
-				dH[i] = distToSet(ds, h, S)
+				dH[i] = distToGathered(sGathered, ds.At(h))
 			}
 			ops.Add(int64(len(H)) * int64(len(S)))
 			// Order farthest-to-nearest and take the ⌈φ·log n⌉-th (line 3 of
@@ -270,7 +279,7 @@ func Run(ds *metric.Dataset, cfg Config) (*Result, error) {
 				}
 				for _, pos := range part {
 					x := R[pos]
-					d := distToSet(ds, x, S)
+					d := distToGathered(sGathered, ds.At(x))
 					// d(x,S) <= d(v,S) removes x; with no pivot only the
 					// freshly sampled points (distance zero) are removed.
 					limit := 0.0
@@ -337,16 +346,10 @@ func Run(ds *metric.Dataset, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// distToSet returns the Euclidean distance from point x to the nearest
-// member of set (dataset indices).
-func distToSet(ds *metric.Dataset, x int, set []int) float64 {
-	best := math.Inf(1)
-	p := ds.At(x)
-	for _, s := range set {
-		if sq := metric.SqDist(p, ds.At(s)); sq < best {
-			best = sq
-		}
-	}
+// distToGathered returns the Euclidean distance from q to the nearest row
+// of the gathered set (the one-to-many kernel over a contiguous copy of S).
+func distToGathered(set *metric.Dataset, q []float64) float64 {
+	_, best := metric.NearestInRange(set, 0, set.N, q)
 	return math.Sqrt(best)
 }
 

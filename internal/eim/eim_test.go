@@ -225,13 +225,14 @@ func TestCapacityEnforced(t *testing.T) {
 	}
 }
 
-func TestDistToSet(t *testing.T) {
+func TestDistToGathered(t *testing.T) {
 	ds, _ := metric.FromPoints([][]float64{{0}, {10}, {3}})
-	if d := distToSet(ds, 2, []int{0, 1}); d != 3 {
-		t.Fatalf("distToSet = %v, want 3", d)
+	set := ds.Subset([]int{0, 1})
+	if d := distToGathered(set, ds.At(2)); d != 3 {
+		t.Fatalf("distToGathered = %v, want 3", d)
 	}
-	if d := distToSet(ds, 0, []int{0}); d != 0 {
-		t.Fatalf("distToSet to self = %v", d)
+	if d := distToGathered(ds.Subset([]int{0}), ds.At(0)); d != 0 {
+		t.Fatalf("distToGathered to self = %v", d)
 	}
 }
 

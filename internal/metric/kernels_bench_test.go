@@ -1,0 +1,122 @@
+package metric
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"kcenter/internal/rng"
+)
+
+// benchData builds an n-point dataset and query of the given dimension.
+func benchData(n, dim int, seed uint64) (*Dataset, []float64) {
+	r := rng.New(seed)
+	ds := NewDataset(n, dim)
+	for i := range ds.Data {
+		ds.Data[i] = r.Float64Range(0, 100)
+	}
+	q := make([]float64, dim)
+	for j := range q {
+		q[j] = r.Float64Range(0, 100)
+	}
+	return ds, q
+}
+
+func dimName(dim int) string {
+	return "dim=" + strconv.Itoa(dim)
+}
+
+// BenchmarkKernelRelaxFarthest measures the fused relaxation kernel against
+// the per-point At()+SqDist formulation it replaced, across the specialized
+// dimensions and the generic fallback (dim 5).
+func BenchmarkKernelRelaxFarthest(b *testing.B) {
+	const n = 50000
+	for _, dim := range []int{2, 3, 4, 8, 5} {
+		ds, q := benchData(n, dim, uint64(dim))
+		minSq := make([]float64, n)
+		b.Run("kernel/"+dimName(dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j := range minSq {
+					minSq[j] = math.Inf(1)
+				}
+				RelaxFarthest(ds, 0, n, q, minSq)
+			}
+		})
+		b.Run("perpoint/"+dimName(dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j := range minSq {
+					minSq[j] = math.Inf(1)
+				}
+				next, far := 0, -1.0
+				for p := 0; p < n; p++ {
+					if sq := SqDist(ds.At(p), q); sq < minSq[p] {
+						minSq[p] = sq
+					}
+					if minSq[p] > far {
+						far = minSq[p]
+						next = p
+					}
+				}
+				_ = next
+			}
+		})
+	}
+}
+
+// BenchmarkKernelNearest measures the fused argmin kernel on the 2-D
+// common case.
+func BenchmarkKernelNearest(b *testing.B) {
+	const n = 50000
+	ds, q := benchData(n, 2, 7)
+	b.Run("kernel/dim=2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			NearestInRange(ds, 0, n, q)
+		}
+	})
+	b.Run("perpoint/dim=2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			best, bestSq := 0, math.Inf(1)
+			for p := 0; p < n; p++ {
+				if sq := SqDist(ds.At(p), q); sq < bestSq {
+					bestSq = sq
+					best = p
+				}
+			}
+			_ = best
+		}
+	})
+}
+
+// BenchmarkKernelPrunedNearest measures the triangle-inequality-pruned
+// nearest-center query against the full kernel scan on a clustered
+// instance (k tight clusters, queries near centers — the assignment
+// regime pruning is built for).
+func BenchmarkKernelPrunedNearest(b *testing.B) {
+	const k, queries = 25, 10000
+	r := rng.New(9)
+	centers := NewDataset(k, 2)
+	for i := range centers.Data {
+		centers.Data[i] = r.Float64Range(0, 100)
+	}
+	qs := NewDataset(queries, 2)
+	for i := 0; i < queries; i++ {
+		c := centers.At(r.Intn(k))
+		qs.At(i)[0] = c[0] + r.NormFloat64()*0.1
+		qs.At(i)[1] = c[1] + r.NormFloat64()*0.1
+	}
+	pr := NewPruned(centers)
+	b.Run("pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for qi := 0; qi < queries; qi++ {
+				pr.Nearest(qs.At(qi))
+			}
+		}
+	})
+	b.Run("fullscan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for qi := 0; qi < queries; qi++ {
+				NearestInRange(centers, 0, k, qs.At(qi))
+			}
+		}
+	})
+}

@@ -12,6 +12,35 @@
 // and take a square root only when a radius is reported. The Interface
 // abstraction allows swapping in other metrics — the k-center guarantees hold
 // for any metric satisfying the triangle inequality.
+//
+// # Distance-kernel engine
+//
+// On top of the point representation the package provides the two layers
+// every hot path in the repository is built from:
+//
+//   - One-to-many kernels (kernels.go): SqDistsInto, NearestInRange and
+//     RelaxFarthest scan a contiguous point range of the flat Data array
+//     against one query, with dimension-specialized inner loops for dims
+//     2/3/4/8 and a generic unrolled fallback. A one-to-many scan
+//     amortizes what the per-point SqDist(ds.At(i), q) formulation pays n
+//     times — slice-header construction, a non-inlined call, loop setup —
+//     and at dim 2 (the paper's UNIF/GAU experiments) that overhead is
+//     2–3× the four flops of actual arithmetic, which is exactly the
+//     speedup the kernels recover (see BenchmarkKernelRelaxFarthest).
+//
+//   - Triangle-inequality pruning (pruned.go): Pruned precomputes the k×k
+//     center-center distance matrix so nearest-center queries can skip any
+//     candidate c' with d(c_best, c') >= 2·d(p, c_best), making the number
+//     of distance evaluations per query sub-linear in k in the common
+//     case. Assignment (assign.Evaluate), streaming coverage tests
+//     (stream.Summary.Push, with the matrix maintained incrementally as
+//     centers change) and stream.Cover all query through it.
+//
+// Both layers preserve results bit for bit: kernels accumulate in SqDist's
+// exact floating-point order and scan in ascending index order, and
+// pruning only ever skips candidates that provably cannot win under the
+// same strict-< tie-breaking. The property tests in kernels_test.go and
+// the identity tests in core/assign pin this.
 package metric
 
 import (

@@ -1,0 +1,158 @@
+// Triangle-inequality pruning for nearest-center queries (Elkan-style
+// center-center bounds, valid for any metric satisfying the triangle
+// inequality; this implementation specializes the library's squared-
+// Euclidean comparison space).
+//
+// Given centers c_0..c_{k-1} and a query p whose best-so-far center is
+// c_b at distance d(p, c_b), any candidate c with
+//
+//	d(c_b, c) >= 2·d(p, c_b)
+//
+// cannot be strictly closer than c_b: d(p, c) >= d(c_b, c) - d(p, c_b)
+// >= d(p, c_b). In squared space the test is cc(c_b, c) >= 4·bestSq with
+// no square roots. Skipping such a c is also tie-safe: the scan breaks
+// ties toward the lower index, and c_b always precedes the candidates
+// still being scanned, so a tie keeps c_b either way. One k×k matrix of
+// squared center-center distances, O(k²) to build, therefore makes every
+// nearest-center query sub-linear in k in the common case — the paper's
+// clustered GAU/UNB families prune hardest, because most points sit close
+// to their center and 4·bestSq is tiny compared to the inter-center gaps.
+//
+// Pruning wins when k is moderate-to-large and queries concentrate near
+// centers (assignment after clustering, steady-state streaming pushes).
+// It loses when k is tiny (the matrix row scan costs as much as the
+// distances it saves) or when queries are far from every center
+// (4·bestSq exceeds all center-center distances and nothing prunes) —
+// the kernels above keep even that worst case fast.
+package metric
+
+// Pruned is a center set prepared for triangle-inequality-pruned nearest-
+// center queries. It is immutable after construction and safe for
+// concurrent readers; Evaluate's worker pool shares one instance.
+type Pruned struct {
+	// C holds the k center coordinates, gathered contiguously.
+	C *Dataset
+	// cc is the k×k matrix of squared center-center distances, row-major.
+	cc []float64
+}
+
+// NewPruned gathers the center-center distance matrix for c. It costs
+// c.N² distance evaluations (reported by MatrixEvals), amortized over the
+// point scans that follow.
+func NewPruned(c *Dataset) *Pruned {
+	k := c.N
+	cc := make([]float64, k*k)
+	for i := 0; i < k; i++ {
+		SqDistsInto(cc[i*k:(i+1)*k], c, 0, k, c.At(i))
+	}
+	return &Pruned{C: c, cc: cc}
+}
+
+// MatrixEvals returns the number of distance evaluations spent building
+// the center-center matrix, for DistEvals accounting.
+func (p *Pruned) MatrixEvals() int64 {
+	return int64(p.C.N) * int64(p.C.N)
+}
+
+// sqTo returns the squared distance from center c to q with a dimension-
+// specialized body (the same accumulation order as SqDist), avoiding the
+// per-candidate slice-header and call overhead on the surviving
+// evaluations.
+func (p *Pruned) sqTo(c int, q []float64) float64 {
+	base := c * p.C.Dim
+	data := p.C.Data
+	switch p.C.Dim {
+	case 2:
+		d0 := data[base] - q[0]
+		d1 := data[base+1] - q[1]
+		return d0*d0 + d1*d1
+	case 3:
+		d0 := data[base] - q[0]
+		d1 := data[base+1] - q[1]
+		d2 := data[base+2] - q[2]
+		return d0*d0 + d1*d1 + d2*d2
+	case 4:
+		d0 := data[base] - q[0]
+		d1 := data[base+1] - q[1]
+		d2 := data[base+2] - q[2]
+		d3 := data[base+3] - q[3]
+		return ((d0*d0 + d1*d1) + d2*d2) + d3*d3
+	case 8:
+		return sqDist8(data[base:base+8], q)
+	default:
+		return SqDist(data[base:base+p.C.Dim:base+p.C.Dim], q)
+	}
+}
+
+// Nearest returns the position of the center nearest to q, its squared
+// distance, and the number of distance evaluations performed. The result
+// is identical to NearestInRange(p.C, 0, p.C.N, q) — same index under the
+// same tie-breaking, same squared distance — but candidates whose matrix
+// entry certifies they cannot win are skipped without evaluating a
+// distance.
+func (p *Pruned) Nearest(q []float64) (int, float64, int64) {
+	if p.C.Dim == 2 {
+		return p.nearest2(q)
+	}
+	k := p.C.N
+	best := 0
+	bestSq := p.sqTo(0, q)
+	evals := int64(1)
+	if k == 1 {
+		return best, bestSq, evals
+	}
+	row := p.cc[:k] // row of the current best center
+	lim := 4 * bestSq
+	for c := 1; c < k; c++ {
+		if row[c] >= lim {
+			continue
+		}
+		sq := p.sqTo(c, q)
+		evals++
+		if sq < bestSq {
+			bestSq = sq
+			best = c
+			row = p.cc[c*k : (c+1)*k]
+			lim = 4 * bestSq
+		}
+	}
+	return best, bestSq, evals
+}
+
+// nearest2 is Nearest with the candidate evaluation inlined for the 2-D
+// common case: at dim 2 a squared distance is four flops, so even the
+// overhead of a specialized call per surviving candidate would rival the
+// arithmetic it performs.
+func (p *Pruned) nearest2(q []float64) (int, float64, int64) {
+	data := p.C.Data
+	k := p.C.N
+	q0, q1 := q[0], q[1]
+	d0 := data[0] - q0
+	d1 := data[1] - q1
+	best, bestSq, evals := 0, d0*d0+d1*d1, int64(1)
+	if k == 1 {
+		return best, bestSq, evals
+	}
+	row := p.cc[:k]
+	lim := 4 * bestSq
+	for c := 1; c < k; c++ {
+		if row[c] >= lim {
+			continue
+		}
+		e0 := data[2*c] - q0
+		e1 := data[2*c+1] - q1
+		evals++
+		if sq := e0*e0 + e1*e1; sq < bestSq {
+			bestSq = sq
+			best = c
+			row = p.cc[c*k : (c+1)*k]
+			lim = 4 * bestSq
+		}
+	}
+	return best, bestSq, evals
+}
+
+// Threshold ("is any center within lim?") queries use the same matrix with
+// a sqrt-free skip certificate, cc(c_b, c) >= 2·(bestSq + lim²) ⇒
+// d(c_b, c) >= d(p, c_b) + lim (AM–GM); that variant lives where its
+// incremental matrix does, in stream.Summary.coveredWithin.

@@ -15,7 +15,12 @@
 //     convergence requires k sufficiently below c (intuitively 2k < c).
 //
 // Runtime (paper §5.1): O(k·n/m) for the first round plus O(k²·m) for the
-// final round.
+// final round. Reducer-side GON runs through core.GonzalezSubset, which
+// gathers each partition into a contiguous block and executes the
+// dimension-specialized one-to-many kernels of internal/metric, so every
+// simulated machine's work benefits from the distance-kernel engine; the
+// final full-dataset evaluation goes through assign.Evaluate's
+// triangle-inequality-pruned assignment.
 package mrg
 
 import (

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -8,6 +9,54 @@ import (
 	"kcenter/internal/metric"
 	"kcenter/internal/rng"
 )
+
+// Property: the pruned, early-exiting coverage test agrees with the naive
+// full scan in the same comparison space, for both the squared-Euclidean
+// fast path and a generic metric — the matrix skips and early exits must
+// never change the covered/uncovered verdict Push acts on.
+func TestQuickCoveredWithinMatchesFullScan(t *testing.T) {
+	f := func(seed uint64, nRaw, dimRaw, kRaw uint8, limRaw uint16) bool {
+		ds := quickInstance(seed, nRaw, dimRaw)
+		k := int(kRaw%6) + 1
+		lim := float64(limRaw) / 100 // 0..655, brackets typical distances
+		for _, m := range []metric.Interface{nil, metric.Manhattan{}} {
+			s := NewSummary(k, Options{Metric: m})
+			pushAll(s, ds)
+			r := rng.New(seed ^ 0xabcdef)
+			q := make([]float64, ds.Dim)
+			for trial := 0; trial < 20; trial++ {
+				for j := range q {
+					q[j] = r.Float64Range(-120, 120)
+				}
+				var want bool
+				if m == nil {
+					best := math.Inf(1)
+					for i := 0; i < s.centers.N; i++ {
+						if sq := metric.SqDist(s.centers.At(i), q); sq < best {
+							best = sq
+						}
+					}
+					want = best <= lim*lim
+				} else {
+					best := math.Inf(1)
+					for i := 0; i < s.centers.N; i++ {
+						if d := m.Distance(s.centers.At(i), q); d < best {
+							best = d
+						}
+					}
+					want = best <= lim
+				}
+				if s.coveredWithin(q, lim) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
 
 // quickInstance derives a small random instance from fuzz inputs, mirroring
 // internal/core's quick tests.

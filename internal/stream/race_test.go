@@ -75,6 +75,80 @@ func TestShardedConcurrentProducers(t *testing.T) {
 	}
 }
 
+// TestShardedSnapshotRace exercises the mid-stream Centers/Snapshot API
+// while producers are pushing: snapshot readers take each shard's read
+// lock against the shard goroutine's write lock, and the race detector
+// checks that every summary read is properly synchronized. Kept small so
+// the tier-1 race gate stays fast.
+func TestShardedSnapshotRace(t *testing.T) {
+	const (
+		producers = 4
+		readers   = 3
+		perProd   = 400
+		k         = 6
+	)
+	sh, err := NewSharded(ShardedConfig{K: k, Shards: 3, Buffer: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap, err := sh.Snapshot()
+				if err != nil {
+					continue // nothing ingested yet
+				}
+				if snap.Centers.N == 0 || snap.Centers.N > k {
+					t.Errorf("snapshot has %d centers, want 1..%d", snap.Centers.N, k)
+					return
+				}
+				if snap.Bound < 0 || snap.LowerBound > snap.Bound {
+					t.Errorf("snapshot bound %g, lower bound %g", snap.Bound, snap.LowerBound)
+					return
+				}
+			}
+		}()
+	}
+	var prod sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		prod.Add(1)
+		go func(p int) {
+			defer prod.Done()
+			r := rng.New(uint64(p) + 11)
+			for i := 0; i < perProd; i++ {
+				_ = sh.Push([]float64{r.Float64Range(-50, 50), r.Float64Range(-50, 50)})
+			}
+		}(p)
+	}
+	prod.Wait()
+	close(stop)
+	wg.Wait()
+	res, err := sh.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ingested != producers*perProd {
+		t.Fatalf("ingested %d, want %d", res.Ingested, producers*perProd)
+	}
+	// A post-Finish snapshot sees the final drained state.
+	snap, err := sh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Ingested != res.Ingested {
+		t.Fatalf("post-finish snapshot ingested %d, want %d", snap.Ingested, res.Ingested)
+	}
+}
+
 // TestShardedConcurrentProducersLarge is the longer soak; skipped in short
 // mode so the race gate stays fast.
 func TestShardedConcurrentProducersLarge(t *testing.T) {

@@ -74,10 +74,15 @@ type Sharded struct {
 	cfg       ShardedConfig
 	chans     []chan []float64
 	summaries []*Summary
-	wg        sync.WaitGroup
-	next      atomic.Uint64
-	dim       atomic.Int64 // first-seen dimensionality; 0 = not yet set
-	finished  atomic.Bool
+	// sumLocks[i] guards summaries[i]: the shard goroutine holds the write
+	// side around each Push, Snapshot holds the read side while reading a
+	// shard's state. Finish needs no locking (all shard goroutines have
+	// exited by the time it reads).
+	sumLocks []sync.RWMutex
+	wg       sync.WaitGroup
+	next     atomic.Uint64
+	dim      atomic.Int64 // first-seen dimensionality; 0 = not yet set
+	finished atomic.Bool
 	// mu makes the finished check and the channel send atomic with respect
 	// to Finish closing the channels: a Push racing Finish (a contract
 	// violation, but an easy one) gets the "Push after Finish" error
@@ -101,6 +106,7 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		cfg:       cfg,
 		chans:     make([]chan []float64, cfg.Shards),
 		summaries: make([]*Summary, cfg.Shards),
+		sumLocks:  make([]sync.RWMutex, cfg.Shards),
 	}
 	for i := range sh.chans {
 		sh.chans[i] = make(chan []float64, cfg.Buffer)
@@ -109,11 +115,95 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		go func(i int) {
 			defer sh.wg.Done()
 			for p := range sh.chans[i] {
+				sh.sumLocks[i].Lock()
 				sh.summaries[i].Push(p)
+				sh.sumLocks[i].Unlock()
 			}
 		}(i)
 	}
 	return sh, nil
+}
+
+// Snapshot reads the current clustering without stopping ingestion: the
+// union of the shard center sets (each read under that shard's read lock),
+// reclustered to ≤ k centers with a Gonzalez pass when the union overflows
+// — exactly the Finish merge, minus the drain. It serves live queries
+// mid-stream; points still buffered in shard channels are not yet
+// reflected, and each shard is locked briefly in turn, so the view is
+// consistent per shard but only approximately aligned across shards. It
+// returns an error when no point has been ingested yet.
+func (s *Sharded) Snapshot() (*Result, error) {
+	return s.mergeShards(true, "Snapshot of")
+}
+
+// mergeShards builds a Result from the shard summaries: per-shard stats,
+// the union of shard centers, and the Gonzalez recluster + certified bound
+// when the union exceeds k. It is the single merge implementation behind
+// Finish (locked=false: every shard goroutine has exited) and Snapshot
+// (locked=true: each shard is read under its lock while ingestion runs).
+func (s *Sharded) mergeShards(locked bool, op string) (*Result, error) {
+	res := &Result{PerShard: make([]ShardStats, len(s.summaries))}
+	var union *metric.Dataset
+	var worstShardBound float64
+	for i, sum := range s.summaries {
+		if locked {
+			s.sumLocks[i].RLock()
+		}
+		res.PerShard[i] = ShardStats{
+			Ingested: sum.N(),
+			Centers:  sum.Count(),
+			R:        sum.R(),
+			Merges:   sum.Merges(),
+		}
+		bound, lower := sum.Bound(), sum.LowerBound()
+		centers := sum.Centers() // deep copy; safe to use after unlock
+		if locked {
+			s.sumLocks[i].RUnlock()
+		}
+		res.Ingested += res.PerShard[i].Ingested
+		if bound > worstShardBound {
+			worstShardBound = bound
+		}
+		if lower > res.LowerBound {
+			res.LowerBound = lower
+		}
+		if centers == nil || centers.N == 0 {
+			continue
+		}
+		if union == nil {
+			union = metric.NewDataset(0, centers.Dim)
+		}
+		if centers.Dim != union.Dim {
+			return nil, fmt.Errorf("stream: shard %d dimension %d, want %d", i, centers.Dim, union.Dim)
+		}
+		for j := 0; j < centers.N; j++ {
+			union.Append(centers.At(j))
+		}
+	}
+	if union == nil {
+		return nil, fmt.Errorf("stream: %s empty stream", op)
+	}
+	res.UnionSize = union.N
+	if union.N <= s.cfg.K {
+		// The union already fits: no recluster round needed (always the
+		// case with a single shard).
+		res.Centers = union
+		res.Bound = worstShardBound
+		return res, nil
+	}
+	g := core.Gonzalez(union, s.cfg.K, core.Options{First: 0})
+	if s.cfg.Metric != nil {
+		// core.Gonzalez selects under Euclidean; re-evaluate the covering
+		// radius of its picks under the configured metric so Bound stays a
+		// certificate (the selection itself remains a heuristic for
+		// non-Euclidean metrics).
+		res.MergeRadius = Cover(union, union.Subset(g.Centers), s.cfg.Metric)
+	} else {
+		res.MergeRadius = g.Radius
+	}
+	res.Centers = union.Subset(g.Centers)
+	res.Bound = res.MergeRadius + worstShardBound
+	return res, nil
 }
 
 // Push routes one point to a shard round-robin. The coordinates are copied,
@@ -158,61 +248,5 @@ func (s *Sharded) Finish() (*Result, error) {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
-
-	res := &Result{PerShard: make([]ShardStats, len(s.summaries))}
-	var union *metric.Dataset
-	var worstShardBound float64
-	for i, sum := range s.summaries {
-		res.PerShard[i] = ShardStats{
-			Ingested: sum.N(),
-			Centers:  sum.Count(),
-			R:        sum.R(),
-			Merges:   sum.Merges(),
-		}
-		res.Ingested += sum.N()
-		if sum.Bound() > worstShardBound {
-			worstShardBound = sum.Bound()
-		}
-		if lb := sum.LowerBound(); lb > res.LowerBound {
-			res.LowerBound = lb
-		}
-		if sum.Count() == 0 {
-			continue
-		}
-		if union == nil {
-			union = metric.NewDataset(0, sum.Dim())
-		}
-		if sum.Dim() != union.Dim {
-			return nil, fmt.Errorf("stream: shard %d dimension %d, want %d", i, sum.Dim(), union.Dim)
-		}
-		c := sum.Centers()
-		for j := 0; j < c.N; j++ {
-			union.Append(c.At(j))
-		}
-	}
-	if union == nil {
-		return nil, fmt.Errorf("stream: Finish on empty stream")
-	}
-	res.UnionSize = union.N
-
-	if union.N <= s.cfg.K {
-		// The union already fits: no recluster round needed (always the
-		// case with a single shard).
-		res.Centers = union
-		res.Bound = worstShardBound
-		return res, nil
-	}
-	g := core.Gonzalez(union, s.cfg.K, core.Options{First: 0})
-	if s.cfg.Metric != nil {
-		// core.Gonzalez selects under Euclidean; re-evaluate the covering
-		// radius of its picks under the configured metric so Bound stays a
-		// certificate (the selection itself remains a heuristic for
-		// non-Euclidean metrics).
-		res.MergeRadius = Cover(union, union.Subset(g.Centers), s.cfg.Metric)
-	} else {
-		res.MergeRadius = g.Radius
-	}
-	res.Centers = union.Subset(g.Centers)
-	res.Bound = res.MergeRadius + worstShardBound
-	return res, nil
+	return s.mergeShards(false, "Finish on")
 }

@@ -46,13 +46,25 @@ type Options struct {
 // the k-center objective. It retains at most k centers (coordinates copied
 // from ingested points) and a doubling radius r. A Summary is NOT safe for
 // concurrent use; Sharded owns one Summary per goroutine instead of sharing.
+//
+// Alongside the centers the Summary maintains their pairwise distance
+// matrix. Centers change rarely (only when a point escapes coverage, and
+// wholesale only on a doubling round), so the matrix is extended one row
+// per new center and compacted on merges rather than recomputed. It serves
+// two purposes: the coverage test in Push skips centers the triangle
+// inequality rules out (see coveredWithin), and mergeDown's pairwise
+// comparisons read the matrix instead of re-evaluating distances.
 type Summary struct {
 	k       int
 	m       metric.Interface // nil = Euclidean fast path on squared distances
 	centers *metric.Dataset  // ≤ k+1 rows; coordinates copied at Push time
-	r       float64          // doubling radius; 0 during the fill phase
-	n       int64            // points ingested
-	merges  int              // doubling rounds executed
+	// cc is the center-center distance matrix, row-major with stride k+1
+	// (centers.N never exceeds k+1): squared Euclidean distances when m is
+	// nil, metric distances otherwise. Allocated once at first Push.
+	cc     []float64
+	r      float64 // doubling radius; 0 during the fill phase
+	n      int64   // points ingested
+	merges int     // doubling rounds executed
 }
 
 // NewSummary returns an empty Summary targeting at most k centers. It panics
@@ -65,37 +77,94 @@ func NewSummary(k int, opt Options) *Summary {
 	return &Summary{k: k, m: opt.Metric}
 }
 
-// dist returns the distance between coordinate vectors a and b under the
-// configured metric.
-func (s *Summary) dist(a, b []float64) float64 {
+// ccDist returns the true distance between centers i and j from the matrix
+// (taking the square root of the squared-Euclidean entry, so comparisons
+// match what re-evaluating the metric would produce).
+func (s *Summary) ccDist(i, j int) float64 {
+	v := s.cc[i*(s.k+1)+j]
 	if s.m == nil {
-		return math.Sqrt(metric.SqDist(a, b))
+		return math.Sqrt(v)
 	}
-	return s.m.Distance(a, b)
+	return v
 }
 
-// nearest returns the minimum distance from p to the retained centers
-// (+Inf when none).
-func (s *Summary) nearest(p []float64) float64 {
-	if s.centers == nil || s.centers.N == 0 {
-		return math.Inf(1)
-	}
+// appendCenter retains p as a new center and extends the distance matrix
+// with its row/column against the existing centers.
+func (s *Summary) appendCenter(p []float64) {
+	s.centers.Append(p)
+	n := s.centers.N
+	stride := s.k + 1
+	i := n - 1
+	row := s.cc[i*stride : i*stride+n]
 	if s.m == nil {
-		best := math.Inf(1)
-		for i := 0; i < s.centers.N; i++ {
-			if sq := metric.SqDist(s.centers.At(i), p); sq < best {
-				best = sq
+		metric.SqDistsInto(row, s.centers, 0, n, s.centers.At(i))
+	} else {
+		cp := s.centers.At(i)
+		for j := 0; j < n; j++ {
+			row[j] = s.m.Distance(s.centers.At(j), cp)
+		}
+	}
+	for j := 0; j < n; j++ {
+		s.cc[j*stride+i] = row[j]
+	}
+}
+
+// coveredWithin reports whether some retained center lies within lim of p.
+// The outcome matches computing the full nearest-center distance and
+// comparing it to lim, but the scan early-exits on the first covering
+// center and skips candidates the center matrix rules out: with best-so-far
+// center c_b at distance d_b, a candidate c with d(c_b, c) >= d_b + lim
+// cannot cover p (triangle inequality). On the Euclidean fast path both the
+// threshold and the skip test stay in squared space — sq <= lim² and
+// cc(c_b, c) >= 2·(d_b² + lim²), the AM–GM relaxation of (d_b + lim)² —
+// so no square roots are taken at all.
+func (s *Summary) coveredWithin(p []float64, lim float64) bool {
+	n := s.centers.N
+	if n == 0 {
+		return false
+	}
+	stride := s.k + 1
+	if s.m == nil {
+		limSq := lim * lim
+		bestSq := metric.SqDist(s.centers.At(0), p)
+		if bestSq <= limSq {
+			return true
+		}
+		best := 0
+		skip := 2 * (bestSq + limSq)
+		for c := 1; c < n; c++ {
+			if s.cc[best*stride+c] >= skip {
+				continue
+			}
+			sq := metric.SqDist(s.centers.At(c), p)
+			if sq <= limSq {
+				return true
+			}
+			if sq < bestSq {
+				bestSq, best = sq, c
+				skip = 2 * (bestSq + limSq)
 			}
 		}
-		return math.Sqrt(best)
+		return false
 	}
-	best := math.Inf(1)
-	for i := 0; i < s.centers.N; i++ {
-		if d := s.m.Distance(s.centers.At(i), p); d < best {
-			best = d
+	bestD := s.m.Distance(s.centers.At(0), p)
+	if bestD <= lim {
+		return true
+	}
+	best := 0
+	for c := 1; c < n; c++ {
+		if s.cc[best*stride+c] > bestD+lim {
+			continue
+		}
+		d := s.m.Distance(s.centers.At(c), p)
+		if d <= lim {
+			return true
+		}
+		if d < bestD {
+			bestD, best = d, c
 		}
 	}
-	return best
+	return false
 }
 
 // Push ingests one point. The coordinates are copied; the caller may reuse p.
@@ -108,6 +177,7 @@ func (s *Summary) Push(p []float64) {
 	}
 	if s.centers == nil {
 		s.centers = metric.NewDataset(0, len(p))
+		s.cc = make([]float64, (s.k+1)*(s.k+1))
 	} else if len(p) != s.centers.Dim {
 		panic(fmt.Sprintf("stream: Push dimension %d, want %d", len(p), s.centers.Dim))
 	}
@@ -116,22 +186,23 @@ func (s *Summary) Push(p []float64) {
 	if s.r == 0 {
 		// Fill phase: every distinct point becomes a center (coverage is
 		// exact, so (I1) holds with r = 0). Exact duplicates are dropped.
-		if s.nearest(p) == 0 {
+		if s.coveredWithin(p, 0) {
 			return
 		}
-		s.centers.Append(p)
+		s.appendCenter(p)
 		if s.centers.N <= s.k {
 			return
 		}
 		// First overflow: k+1 distinct points. Initialize r to half the
-		// minimum pairwise distance, which makes (I2) hold with equality on
-		// the closest pair and certifies OPT ≥ r (any k-clustering of k+1
-		// points pairwise ≥ 2r puts two of them within 2·radius of each
-		// other, so radius ≥ r).
+		// minimum pairwise distance — read straight off the maintained
+		// matrix — which makes (I2) hold with equality on the closest pair
+		// and certifies OPT ≥ r (any k-clustering of k+1 points pairwise
+		// ≥ 2r puts two of them within 2·radius of each other, so radius
+		// ≥ r).
 		dmin := math.Inf(1)
 		for i := 0; i < s.centers.N; i++ {
 			for j := i + 1; j < s.centers.N; j++ {
-				if d := s.dist(s.centers.At(i), s.centers.At(j)); d < dmin {
+				if d := s.ccDist(i, j); d < dmin {
 					dmin = d
 				}
 			}
@@ -142,10 +213,10 @@ func (s *Summary) Push(p []float64) {
 	}
 
 	// Steady state: discard covered points, retain escapers as centers.
-	if s.nearest(p) <= 4*s.r {
+	if s.coveredWithin(p, 4*s.r) {
 		return
 	}
-	s.centers.Append(p)
+	s.appendCenter(p)
 	if s.centers.N > s.k {
 		s.mergeDown()
 	}
@@ -158,15 +229,16 @@ func (s *Summary) Push(p []float64) {
 // survives because a dropped center (whose points lay within 4r_old of it)
 // sits within 2r_new = 4r_old of a kept center: 4r_old + 2r_new = 4r_new.
 func (s *Summary) mergeDown() {
+	stride := s.k + 1
 	for s.centers.N > s.k {
 		s.r *= 2
 		s.merges++
 		keep := make([]int, 0, s.centers.N)
 		for i := 0; i < s.centers.N; i++ {
-			p := s.centers.At(i)
 			ok := true
 			for _, j := range keep {
-				if s.dist(s.centers.At(j), p) <= 2*s.r {
+				// The matrix already holds d(j, i); no re-evaluation.
+				if s.ccDist(j, i) <= 2*s.r {
 					ok = false
 					break
 				}
@@ -175,7 +247,18 @@ func (s *Summary) mergeDown() {
 				keep = append(keep, i)
 			}
 		}
+		if len(keep) == s.centers.N {
+			continue
+		}
 		s.centers = s.centers.Subset(keep)
+		// Compact the matrix in place. keep is ascending with keep[a] >= a,
+		// so every read position is at or after its write position and the
+		// ascending traversal never reads an overwritten cell.
+		for a, ka := range keep {
+			for b, kb := range keep {
+				s.cc[a*stride+b] = s.cc[ka*stride+kb]
+			}
+		}
 	}
 }
 
@@ -237,30 +320,41 @@ func Cover(ds *metric.Dataset, centers *metric.Dataset, m metric.Interface) floa
 	}
 	var worst float64
 	if m == nil {
+		// One k×k matrix up front lets every point's nearest-center scan
+		// prune candidates by the triangle inequality; the minimum each
+		// query returns is unchanged.
+		pr := metric.NewPruned(centers)
 		for i := 0; i < ds.N; i++ {
-			p := ds.At(i)
-			best := math.Inf(1)
-			for j := 0; j < centers.N; j++ {
-				if sq := metric.SqDist(p, centers.At(j)); sq < best {
-					best = sq
-				}
-			}
-			if best > worst {
+			if _, best, _ := pr.Nearest(ds.At(i)); best > worst {
 				worst = best
 			}
 		}
 		return math.Sqrt(worst)
 	}
+	// Generic-metric pruning over true distances: skip a candidate c when
+	// d(c_best, c) >= 2·d(p, c_best).
+	k := centers.N
+	cc := make([]float64, k*k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			d := m.Distance(centers.At(i), centers.At(j))
+			cc[i*k+j] = d
+			cc[j*k+i] = d
+		}
+	}
 	for i := 0; i < ds.N; i++ {
 		p := ds.At(i)
-		best := math.Inf(1)
-		for j := 0; j < centers.N; j++ {
-			if d := m.Distance(p, centers.At(j)); d < best {
-				best = d
+		best, bestD := 0, m.Distance(p, centers.At(0))
+		for c := 1; c < k; c++ {
+			if cc[best*k+c] >= 2*bestD {
+				continue
+			}
+			if d := m.Distance(p, centers.At(c)); d < bestD {
+				bestD, best = d, c
 			}
 		}
-		if best > worst {
-			worst = best
+		if bestD > worst {
+			worst = bestD
 		}
 	}
 	return worst

@@ -3,6 +3,7 @@ package stream
 import (
 	"math"
 	"testing"
+	"time"
 
 	"kcenter/internal/core"
 	"kcenter/internal/dataset"
@@ -221,6 +222,57 @@ func TestShardedSingleShardMatchesSummary(t *testing.T) {
 	}
 	if res.MergeRadius != 0 {
 		t.Fatalf("single shard needs no recluster, got merge radius %g", res.MergeRadius)
+	}
+}
+
+// TestShardedSnapshotMatchesSummary: once a single-shard ingester has
+// drained everything pushed so far, Snapshot must expose exactly the
+// sequential Summary's centers — the mid-stream view is the doubling
+// algorithm's state, not an approximation of it.
+func TestShardedSnapshotMatchesSummary(t *testing.T) {
+	const n, k = 2500, 5
+	ds := randomDataset(n, 2, 77)
+	seq := NewSummary(k, Options{})
+	pushAll(seq, ds)
+
+	sh, err := NewSharded(ShardedConfig{K: k, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.N; i++ {
+		if err := sh.Push(ds.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The shard goroutine drains asynchronously; poll gently until the
+	// snapshot reflects every push, failing promptly if it never does.
+	var snap *Result
+	for attempt := 0; ; attempt++ {
+		snap, err = sh.Snapshot()
+		if err == nil && snap.Ingested == int64(n) {
+			break
+		}
+		if attempt > 5000 {
+			t.Fatalf("snapshot never drained: err=%v snap=%+v", err, snap)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if snap.Centers.N != seq.Count() {
+		t.Fatalf("snapshot kept %d centers, sequential kept %d", snap.Centers.N, seq.Count())
+	}
+	want := seq.Centers()
+	for i := 0; i < want.N; i++ {
+		for j := 0; j < want.Dim; j++ {
+			if snap.Centers.At(i)[j] != want.At(i)[j] {
+				t.Fatalf("snapshot center %d differs: %v vs %v", i, snap.Centers.At(i), want.At(i))
+			}
+		}
+	}
+	if snap.Bound != seq.Bound() {
+		t.Fatalf("snapshot bound %g, want %g", snap.Bound, seq.Bound())
+	}
+	if _, err := sh.Finish(); err != nil {
+		t.Fatal(err)
 	}
 }
 

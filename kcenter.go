@@ -304,6 +304,24 @@ func NewStream(k int, opt StreamOptions) (*Stream, error) {
 // the slice. Push is safe for concurrent use by multiple producers.
 func (s *Stream) Push(p []float64) error { return s.sh.Push(p) }
 
+// Centers returns a snapshot of the current ≤ k centers while ingestion is
+// still running, so live traffic can query the clustering without waiting
+// for Finish. Each shard's state is read under a read lock; points still
+// buffered inside the ingester are not yet reflected. The returned slices
+// are copies. It is safe to call concurrently with Push and returns an
+// error before the first point has been ingested.
+func (s *Stream) Centers() ([][]float64, error) {
+	snap, err := s.sh.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	centers := make([][]float64, snap.Centers.N)
+	for i := range centers {
+		centers[i] = append([]float64(nil), snap.Centers.At(i)...)
+	}
+	return centers, nil
+}
+
 // Finish drains the shards, merges their centers and returns the solution.
 // Call it exactly once, after every producer goroutine has returned.
 func (s *Stream) Finish() (*StreamResult, error) {
@@ -349,7 +367,7 @@ func RadiusPoints(d *Dataset, centers [][]float64) (float64, error) {
 
 // Radius evaluates the covering radius of an explicit center set.
 func Radius(d *Dataset, centers []int) (float64, error) {
-	if d == nil || d.m.N == 0 {
+	if d == nil || d.m == nil || d.m.N == 0 {
 		return 0, fmt.Errorf("kcenter: empty dataset")
 	}
 	if len(centers) == 0 {

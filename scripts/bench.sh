@@ -1,0 +1,49 @@
+#!/bin/sh
+# Benchmark-trajectory gate: runs the kernel, assignment, Gonzalez and
+# streaming benchmarks and emits BENCH_kernels.json with ns/op per
+# benchmark, so every PR leaves a comparable perf record.
+#
+#   BENCHTIME=1x  (default) one iteration per benchmark: a compile +
+#                 smoke pass, cheap enough for the tier-1 gate. The ns/op
+#                 of a single iteration is noisy; the checked-in baseline
+#                 is produced with BENCHTIME=2s.
+#   OUT=path      output file (default BENCH_kernels.json in the repo root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="${OUT:-BENCH_kernels.json}"
+PATTERN='^(BenchmarkKernel|BenchmarkEvaluate|BenchmarkGonzalez|BenchmarkStreamPush|BenchmarkShardedThroughput)'
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# No pipe here: POSIX sh has no pipefail, and piping through tee would let
+# a failing `go test` (bench panic, broken TestMain) slip past set -e.
+go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -count 1 \
+	./internal/metric/ ./internal/assign/ ./internal/core/ . > "$tmp"
+cat "$tmp"
+
+awk -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" '
+BEGIN { n = 0 }
+/^pkg: / { pkg = $2 }
+/^Benchmark/ && $3 ~ /^[0-9.]+$/ && $4 == "ns/op" {
+	name = $1
+	sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+	names[n] = name; pkgs[n] = pkg; ns[n] = $3; n++
+}
+END {
+	printf "{\n"
+	printf "  \"generated_by\": \"scripts/bench.sh\",\n"
+	printf "  \"go\": \"%s\",\n", goversion
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++) {
+		printf "    {\"package\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %s}%s\n", \
+			pkgs[i], names[i], ns[i], (i < n-1 ? "," : "")
+	}
+	printf "  ]\n}\n"
+}' "$tmp" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"

@@ -18,4 +18,11 @@ go test ./...
 echo "== go test -race -short ./internal/stream/..."
 go test -race -short ./internal/stream/...
 
+# One iteration of every tracked benchmark: proves the suite compiles and
+# runs and that the JSON emitter works, without clobbering the committed
+# BENCH_kernels.json baseline (regenerate that with `make bench BENCHTIME=2s`
+# or `BENCHTIME=2s sh scripts/bench.sh` when landing a perf change).
+echo "== bench smoke (scripts/bench.sh, BENCHTIME=1x)"
+OUT="${TMPDIR:-/tmp}/BENCH_kernels.smoke.json" sh scripts/bench.sh
+
 echo "OK"
