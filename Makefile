@@ -17,10 +17,10 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector gate over the concurrent ingestion path; -short keeps it
-# under a couple of seconds.
+# Race-detector gate over the concurrent ingestion path and the serving
+# layer; -short keeps it under a couple of seconds.
 race:
-	$(GO) test -race -short ./internal/stream/...
+	$(GO) test -race -short ./internal/stream/... ./internal/server/...
 
 # Tier-1 bench smoke: one iteration of the kernel/assign/Gonzalez/stream
 # benchmarks, JSON written to a scratch path so the committed baseline is

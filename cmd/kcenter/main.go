@@ -16,16 +16,32 @@
 //	kcenter stream -csv pokerhand.data -k 25 -shards 8
 //	kcenter stream -dataset gau -n 1000000 -k 25
 //
+// The serve subcommand runs the HTTP/JSON clustering service: live batched
+// ingestion (POST /v1/ingest), batch nearest-center assignment against
+// consistent snapshots (POST /v1/assign), and introspection (GET
+// /v1/centers, GET /v1/stats). SIGINT/SIGTERM shut it down gracefully,
+// draining queued batches and printing the final certified clustering:
+//
+//	kcenter serve -addr :8080 -k 25 -shards 8
+//	kcenter serve -addr 127.0.0.1:0 -k 10 -max-batch 1024 -read-timeout 5s
+//
 // Exit status is non-zero on any configuration or runtime error.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"kcenter"
 	"kcenter/internal/core"
 	"kcenter/internal/dataset"
 	"kcenter/internal/eim"
@@ -36,15 +52,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "kcenter:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer, stop <-chan os.Signal) error {
 	if len(args) > 0 && args[0] == "stream" {
 		return runStream(args[1:], out)
+	}
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], out, stop)
 	}
 	fs := flag.NewFlagSet("kcenter", flag.ContinueOnError)
 	var (
@@ -119,6 +138,83 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown algorithm %q (want gon, mrg or eim)", *algo)
 	}
+	return nil
+}
+
+// runServe implements the serve subcommand: the HTTP clustering service
+// with graceful signal-driven shutdown. It blocks until a signal arrives on
+// stop (or the listener fails), then drains in-flight batches and prints
+// the final certified clustering. A nil stop subscribes to SIGINT/SIGTERM
+// here — only the serve subcommand takes over signal handling; batch and
+// stream runs keep the default terminate-on-Ctrl-C behavior.
+func runServe(args []string, out io.Writer, stop <-chan os.Signal) error {
+	if stop == nil {
+		c := make(chan os.Signal, 1)
+		signal.Notify(c, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(c)
+		stop = c
+	}
+	fs := flag.NewFlagSet("kcenter serve", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		k            = fs.Int("k", 10, "number of centers")
+		shards       = fs.Int("shards", 1, "concurrent ingestion shards")
+		buffer       = fs.Int("buffer", 0, "per-shard channel depth (0 = default)")
+		maxBatch     = fs.Int("max-batch", 0, "max points per request (0 = 4096)")
+		queueDepth   = fs.Int("queue", 0, "ingest queue depth in batches (0 = 64)")
+		readTimeout  = fs.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
+		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "HTTP write timeout (bounds ingest backpressure blocking)")
+		drainTimeout = fs.Duration("drain-timeout", time.Minute, "shutdown budget for draining queued batches")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, err := kcenter.NewServer(*k, kcenter.ServerOptions{
+		Shards:     *shards,
+		Buffer:     *buffer,
+		MaxBatch:   *maxBatch,
+		QueueDepth: *queueDepth,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:      srv.Handler(),
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+	}
+	fmt.Fprintf(out, "serving on http://%s   k=%d   shards=%d\n", ln.Addr(), *k, *shards)
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-stop:
+	}
+	fmt.Fprintln(out, "shutting down: draining in-flight batches")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return err
+	}
+	res, err := srv.Shutdown(ctx)
+	if errors.Is(err, kcenter.ErrNothingIngested) {
+		fmt.Fprintln(out, "final clustering: none (nothing ingested)")
+		return nil
+	}
+	if err != nil {
+		// A real drain failure (e.g. the timeout expired with batches still
+		// queued) must not masquerade as an empty server: queued data was
+		// lost, so report it and exit non-zero.
+		return err
+	}
+	fmt.Fprintf(out, "FINAL   bound=%.6g   lower-bound=%.6g   centers=%d   ingested=%d   (%g-approximation)\n",
+		res.Radius, res.LowerBound, len(res.Centers), res.Ingested, res.ApproxFactor)
 	return nil
 }
 

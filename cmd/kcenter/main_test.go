@@ -2,15 +2,22 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
+// runT runs the CLI without a signal channel; only the serve subcommand
+// consumes one, and its tests construct their own.
+func runT(args []string, out io.Writer) error {
+	return run(args, out, nil)
+}
+
 func TestRunGON(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-algo", "gon", "-dataset", "unif", "-n", "2000", "-k", "5"}, &buf)
+	err := runT([]string{"-algo", "gon", "-dataset", "unif", "-n", "2000", "-k", "5"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +29,7 @@ func TestRunGON(t *testing.T) {
 
 func TestRunMRGVerbose(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-algo", "mrg", "-dataset", "gau", "-n", "5000", "-kprime", "5", "-k", "5", "-v"}, &buf)
+	err := runT([]string{"-algo", "mrg", "-dataset", "gau", "-n", "5000", "-kprime", "5", "-k", "5", "-v"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +44,7 @@ func TestRunMRGVerbose(t *testing.T) {
 
 func TestRunEIMVerbose(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-algo", "eim", "-dataset", "unif", "-n", "30000", "-k", "5", "-v"}, &buf)
+	err := runT([]string{"-algo", "eim", "-dataset", "unif", "-n", "30000", "-k", "5", "-v"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +59,7 @@ func TestRunEIMVerbose(t *testing.T) {
 
 func TestRunEIMFallbackMode(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"-algo", "eim", "-dataset", "unif", "-n", "2000", "-k", "100"}, &buf)
+	err := runT([]string{"-algo", "eim", "-dataset", "unif", "-n", "2000", "-k", "100"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,13 +71,13 @@ func TestRunEIMFallbackMode(t *testing.T) {
 func TestRunAllGenerators(t *testing.T) {
 	for _, ds := range []string{"unif", "gau", "unb", "kdd"} {
 		var buf bytes.Buffer
-		if err := run([]string{"-algo", "gon", "-dataset", ds, "-n", "2000", "-k", "3"}, &buf); err != nil {
+		if err := runT([]string{"-algo", "gon", "-dataset", ds, "-n", "2000", "-k", "3"}, &buf); err != nil {
 			t.Fatalf("dataset %s: %v", ds, err)
 		}
 	}
 	// poker has a fixed size and is slower; run with small k once.
 	var buf bytes.Buffer
-	if err := run([]string{"-algo", "gon", "-dataset", "poker", "-k", "2"}, &buf); err != nil {
+	if err := runT([]string{"-algo", "gon", "-dataset", "poker", "-k", "2"}, &buf); err != nil {
 		t.Fatalf("poker: %v", err)
 	}
 }
@@ -82,7 +89,7 @@ func TestRunCSVInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"-algo", "gon", "-csv", path, "-k", "2"}, &buf); err != nil {
+	if err := runT([]string{"-algo", "gon", "-csv", path, "-k", "2"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "n=5") {
@@ -92,23 +99,23 @@ func TestRunCSVInput(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-algo", "nope"}, &buf); err == nil {
+	if err := runT([]string{"-algo", "nope"}, &buf); err == nil {
 		t.Fatal("unknown algorithm should fail")
 	}
-	if err := run([]string{"-dataset", "nope"}, &buf); err == nil {
+	if err := runT([]string{"-dataset", "nope"}, &buf); err == nil {
 		t.Fatal("unknown dataset should fail")
 	}
-	if err := run([]string{"-csv", "/does/not/exist.csv"}, &buf); err == nil {
+	if err := runT([]string{"-csv", "/does/not/exist.csv"}, &buf); err == nil {
 		t.Fatal("missing CSV should fail")
 	}
-	if err := run([]string{"-badflag"}, &buf); err == nil {
+	if err := runT([]string{"-badflag"}, &buf); err == nil {
 		t.Fatal("bad flag should fail")
 	}
 }
 
 func TestRunStreamGenerated(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{"stream", "-dataset", "gau", "-n", "5000", "-kprime", "5", "-k", "5", "-shards", "4", "-v"}, &buf)
+	err := runT([]string{"stream", "-dataset", "gau", "-n", "5000", "-kprime", "5", "-k", "5", "-shards", "4", "-v"}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +137,7 @@ func TestRunStreamCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"stream", "-csv", path, "-k", "2"}, &buf); err != nil {
+	if err := runT([]string{"stream", "-csv", path, "-k", "2"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -144,13 +151,13 @@ func TestRunStreamCSV(t *testing.T) {
 
 func TestRunStreamErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"stream", "-k", "0"}, &buf); err == nil {
+	if err := runT([]string{"stream", "-k", "0"}, &buf); err == nil {
 		t.Fatal("k=0 should fail")
 	}
-	if err := run([]string{"stream", "-csv", "/does/not/exist.csv"}, &buf); err == nil {
+	if err := runT([]string{"stream", "-csv", "/does/not/exist.csv"}, &buf); err == nil {
 		t.Fatal("missing CSV should fail")
 	}
-	if err := run([]string{"stream", "-dataset", "nope"}, &buf); err == nil {
+	if err := runT([]string{"stream", "-dataset", "nope"}, &buf); err == nil {
 		t.Fatal("unknown dataset should fail")
 	}
 	dir := t.TempDir()
@@ -158,14 +165,14 @@ func TestRunStreamErrors(t *testing.T) {
 	if err := os.WriteFile(path, nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"stream", "-csv", path, "-k", "2"}, &buf); err == nil {
+	if err := runT([]string{"stream", "-csv", path, "-k", "2"}, &buf); err == nil {
 		t.Fatal("empty CSV should fail")
 	}
 	path2 := filepath.Join(dir, "symbolic.csv")
 	if err := os.WriteFile(path2, []byte("a,b\nc,d\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"stream", "-csv", path2, "-k", "2"}, &buf); err == nil {
+	if err := runT([]string{"stream", "-csv", path2, "-k", "2"}, &buf); err == nil {
 		t.Fatal("all-symbolic CSV should fail")
 	}
 }

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer makes bytes.Buffer safe to read from the test while the serve
+// goroutine writes to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var serveURLRe = regexp.MustCompile(`serving on (http://[^\s]+)`)
+
+// TestRunServeEndToEnd drives the serve subcommand like an operator would:
+// start it on a free port, ingest and assign over real HTTP, send the stop
+// signal and check the graceful drain prints the final clustering.
+func TestRunServeEndToEnd(t *testing.T) {
+	out := &syncBuffer{}
+	stop := make(chan os.Signal, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"serve", "-addr", "127.0.0.1:0", "-k", "4", "-shards", "2"}, out, stop)
+	}()
+
+	// Wait for the listener line to learn the port.
+	var url string
+	deadline := time.Now().Add(10 * time.Second)
+	for url == "" {
+		if m := serveURLRe.FindStringSubmatch(out.String()); m != nil {
+			url = m[1]
+			break
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("serve exited early: %v\noutput:\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen line before timeout; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	post := func(path, body string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		if _, err := b.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp, b.String()
+	}
+
+	if resp, body := post("/v1/ingest", `{"points": [[0,0],[1,0],[10,10],[11,10],[0,1],[10,11]]}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest: status %d body %s", resp.StatusCode, body)
+	}
+	// Ingestion is asynchronous; poll until assignment sees centers.
+	var assignBody string
+	for {
+		resp, body := post("/v1/assign", `{"points": [[0.5,0.5],[10.5,10.5]]}`)
+		if resp.StatusCode == http.StatusOK {
+			assignBody = body
+			break
+		}
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("assign: status %d body %s", resp.StatusCode, body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("assign never succeeded")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var ar struct {
+		Assignments []struct {
+			Center   int     `json:"center"`
+			Distance float64 `json:"distance"`
+		} `json:"assignments"`
+	}
+	if err := json.Unmarshal([]byte(assignBody), &ar); err != nil {
+		t.Fatalf("assign body %q: %v", assignBody, err)
+	}
+	if len(ar.Assignments) != 2 {
+		t.Fatalf("assignments: %s", assignBody)
+	}
+	if ar.Assignments[0].Center == ar.Assignments[1].Center {
+		t.Fatalf("far-apart queries assigned to one center: %s", assignBody)
+	}
+
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d", resp.StatusCode)
+	}
+
+	stop <- os.Interrupt
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve returned %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("serve did not shut down; output:\n%s", out.String())
+	}
+	final := out.String()
+	if !strings.Contains(final, "FINAL") || !strings.Contains(final, "ingested=6") {
+		t.Fatalf("graceful shutdown summary missing:\n%s", final)
+	}
+}
+
+func TestRunServeErrors(t *testing.T) {
+	out := &syncBuffer{}
+	if err := run([]string{"serve", "-k", "0"}, out, nil); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if err := run([]string{"serve", "-badflag"}, out, nil); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+	if err := run([]string{"serve", "-addr", "256.256.256.256:1"}, out, nil); err == nil {
+		t.Fatal("unlistenable address should fail")
+	}
+}
+
+// TestRunServeEmptyShutdown: stopping a server that never ingested anything
+// reports "none" instead of failing.
+func TestRunServeEmptyShutdown(t *testing.T) {
+	out := &syncBuffer{}
+	stop := make(chan os.Signal, 1)
+	stop <- os.Interrupt // already pending: serve starts, then immediately drains
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"serve", "-addr", "127.0.0.1:0", "-k", "3"}, out, stop)
+	}()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("empty shutdown: %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("serve did not shut down; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "final clustering: none") {
+		t.Fatalf("empty-shutdown notice missing:\n%s", out.String())
+	}
+}

@@ -1,0 +1,167 @@
+// Serving: run the HTTP clustering service in-process and drive it the way
+// a real client fleet would — batched ingestion of a live feed over POST
+// /v1/ingest, nearest-center queries against consistent snapshots over POST
+// /v1/assign, introspection via GET /v1/centers and /v1/stats — then shut
+// it down gracefully and compare the drained final clustering against the
+// batch baseline that got to see all points at once.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"kcenter"
+)
+
+const (
+	k       = 10
+	batches = 40
+	batch   = 500
+)
+
+func postJSON(url string, req any, resp any) (int, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	defer r.Body.Close()
+	if resp != nil && r.StatusCode < 300 {
+		if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+			return r.StatusCode, err
+		}
+	}
+	return r.StatusCode, nil
+}
+
+type pointsBody struct {
+	Points [][]float64 `json:"points"`
+}
+
+func main() {
+	// The service: k centers, 4 ingestion shards, mounted on a loopback
+	// listener exactly as `kcenter serve` would mount it.
+	srv, err := kcenter.NewServer(k, kcenter.ServerOptions{Shards: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("clustering service on %s (k=%d, 4 shards)\n", base, k)
+
+	// The "live feed": the paper's GAU family, pushed in client batches.
+	feed := kcenter.Clustered(batches*batch, k, 1)
+	for b := 0; b < batches; b++ {
+		pts := make([][]float64, batch)
+		for i := range pts {
+			pts[i] = feed.At(b*batch + i)
+		}
+		code, err := postJSON(base+"/v1/ingest", pointsBody{Points: pts}, nil)
+		if err != nil || code != http.StatusAccepted {
+			log.Fatalf("ingest batch %d: code %d err %v", b, code, err)
+		}
+	}
+
+	// Live queries while ingestion drains: each response is computed
+	// against one consistent snapshot, identified by its version.
+	var assigned struct {
+		Snapshot struct {
+			Version  uint64  `json:"version"`
+			Centers  int     `json:"centers"`
+			Radius   float64 `json:"radius"`
+			Ingested int64   `json:"ingested"`
+		} `json:"snapshot"`
+		Assignments []struct {
+			Center   int     `json:"center"`
+			Distance float64 `json:"distance"`
+		} `json:"assignments"`
+	}
+	queries := pointsBody{Points: [][]float64{feed.At(0), feed.At(batch), feed.At(2 * batch)}}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, err := postJSON(base+"/v1/assign", queries, &assigned)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if code == http.StatusOK {
+			break
+		}
+		// 409 is the cold-start window (nothing drained into a shard yet);
+		// anything else is a real failure.
+		if code != http.StatusConflict {
+			log.Fatalf("assign: unexpected status %d", code)
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("assign: still 409 after 30s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Printf("assign against snapshot v%d: %d centers cover %d ingested points within %.3f\n",
+		assigned.Snapshot.Version, assigned.Snapshot.Centers,
+		assigned.Snapshot.Ingested, assigned.Snapshot.Radius)
+	for i, a := range assigned.Assignments {
+		fmt.Printf("  query %d -> center %d (distance %.3f)\n", i, a.Center, a.Distance)
+	}
+
+	// Service counters: ingest/assign traffic and the distance-evaluation
+	// count the pruned assignment kernels actually spent.
+	var stats struct {
+		IngestedPoints int64 `json:"ingested_points"`
+		AssignPoints   int64 `json:"assign_points"`
+		DistEvals      int64 `json:"dist_evals"`
+		SnapshotBuilds int64 `json:"snapshot_builds"`
+	}
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("stats: ingested=%d assigned=%d dist-evals=%d snapshot-builds=%d\n",
+		stats.IngestedPoints, stats.AssignPoints, stats.DistEvals, stats.SnapshotBuilds)
+
+	// Graceful shutdown: HTTP server first (no requests in flight), then
+	// the service — draining queued batches and flushing the final merge.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	final, err := srv.Shutdown(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final: %d centers over %d points, certified %.4f <= OPT <= %.4f (%g-approx)\n",
+		len(final.Centers), final.Ingested, final.LowerBound, final.Radius, final.ApproxFactor)
+
+	// Batch comparison, as in examples/streaming: the serving layer never
+	// materialized the feed; the baseline gets to.
+	gon, err := kcenter.Gonzalez(feed, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	realized, err := kcenter.RadiusPoints(feed, final.Centers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("realized serving radius %.4f vs batch GON %.4f -> %.2fx while serving live traffic\n",
+		realized, gon.Radius, realized/gon.Radius)
+}

@@ -1,0 +1,70 @@
+package assign
+
+import (
+	"strconv"
+	"testing"
+
+	"kcenter/internal/core"
+	"kcenter/internal/dataset"
+	"kcenter/internal/metric"
+)
+
+// TestAdaptiveModesBitIdentical pins the adaptive-kernel contract: the
+// plain one-to-many scan and the triangle-inequality-pruned scan must
+// produce bit-identical evaluations on both sides of the crossover, so
+// whichever one metric.PreferPruned picks, the result is the same.
+func TestAdaptiveModesBitIdentical(t *testing.T) {
+	workloads := []struct {
+		name string
+		ds   *metric.Dataset
+	}{
+		{"unif2d", dataset.Unif(dataset.UnifConfig{N: 4000, Seed: 31}).Points},
+		{"gau2d", dataset.Gau(dataset.GauConfig{N: 4000, KPrime: 10, Seed: 32}).Points},
+		{"kdd", dataset.KDDLike(dataset.KDDLikeConfig{N: 1500, Seed: 33}).Points},
+	}
+	for _, w := range workloads {
+		// k = 5 sits below every crossover, k = 80 above; both paths must
+		// agree regardless.
+		for _, k := range []int{1, 5, 80} {
+			res := core.Gonzalez(w.ds, k, core.Options{First: 0})
+			plain := evaluate(w.ds, res.Centers, 0, modePlain)
+			pruned := evaluate(w.ds, res.Centers, 0, modePruned)
+			adaptive := Evaluate(w.ds, res.Centers, 0)
+			name := w.name + "/k=" + strconv.Itoa(k)
+			assertIdentical(t, name+"/plain-vs-pruned", plain, pruned)
+			assertIdentical(t, name+"/adaptive-vs-pruned", adaptive, pruned)
+
+			// The plain path's accounting is exact: n·k, no matrix.
+			wantPlain := int64(w.ds.N) * int64(len(res.Centers))
+			if plain.DistEvals != wantPlain {
+				t.Fatalf("%s: plain DistEvals = %d, want %d", name, plain.DistEvals, wantPlain)
+			}
+			// The adaptive path must match whichever mode it selected.
+			want := plain.DistEvals
+			if metric.PreferPruned(len(res.Centers), w.ds.Dim) {
+				want = pruned.DistEvals
+			}
+			if adaptive.DistEvals != want {
+				t.Fatalf("%s: adaptive DistEvals = %d, want %d", name, adaptive.DistEvals, want)
+			}
+		}
+	}
+}
+
+// TestPreferPrunedCrossoverShape pins the heuristic's shape: more centers
+// and higher dimension both push toward pruning, and the measured dim-2
+// k=25 break-even from BENCH_kernels.json stays on the plain side.
+func TestPreferPrunedCrossoverShape(t *testing.T) {
+	if metric.PreferPruned(25, 2) {
+		t.Fatal("k=25 dim=2 is measured break-even; should stay on the plain scan")
+	}
+	if !metric.PreferPruned(100, 2) {
+		t.Fatal("k=100 dim=2 should prefer pruning")
+	}
+	if !metric.PreferPruned(25, 8) {
+		t.Fatal("k=25 dim=8 should prefer pruning")
+	}
+	if metric.PreferPruned(4, 64) {
+		t.Fatal("tiny k should never prefer pruning")
+	}
+}

@@ -5,11 +5,16 @@
 // because the paper reports solution values as a property of the output, not
 // as algorithm runtime.
 //
-// Nearest-center queries go through metric.Pruned: a k×k center-center
-// distance matrix, computed once per evaluation, lets each point's scan skip
-// any center c' with d(c_best, c') >= 2·d(p, c_best) (triangle-inequality
-// pruning), making assignment sub-linear in k in the common case while
-// producing bit-identical assignments, distances and radii.
+// Nearest-center queries pick the faster of two bit-identical kernels per
+// call (metric.PreferPruned, crossover fitted from BENCH_kernels.json):
+// below the crossover a plain one-to-many scan (metric.NearestInRange over
+// the gathered centers) wins because at small k and low dim a distance
+// costs no more than the pruning check that would skip it; above it the
+// scan goes through metric.Pruned — a k×k center-center distance matrix,
+// computed once per evaluation, lets each point's scan skip any center c'
+// with d(c_best, c') >= 2·d(p, c_best) (triangle-inequality pruning),
+// making assignment sub-linear in k. Assignments, distances and radii are
+// identical either way; only DistEvals reflects which kernel ran.
 package assign
 
 import (
@@ -35,16 +40,30 @@ type Evaluation struct {
 	Farthest int
 	// ClusterSizes[c] counts points assigned to centers[c].
 	ClusterSizes []int
-	// DistEvals counts the distance evaluations actually performed: k² for
-	// the center-center pruning matrix plus the per-point evaluations the
-	// triangle-inequality pruning could not skip. It is at most
-	// k² + n·|centers| and typically far below the unpruned n·|centers|.
+	// DistEvals counts the distance evaluations actually performed. On the
+	// pruned path it is k² for the center-center matrix plus the per-point
+	// evaluations the triangle-inequality pruning could not skip (at most
+	// k² + n·|centers|, typically far below the unpruned n·|centers|); on
+	// the plain-scan path it is exactly n·|centers|.
 	DistEvals int64
 }
+
+// evalMode selects the nearest-center kernel inside evaluate.
+type evalMode int
+
+const (
+	modeAdaptive evalMode = iota // metric.PreferPruned decides
+	modePlain                    // force the plain one-to-many scan
+	modePruned                   // force the triangle-inequality-pruned scan
+)
 
 // Evaluate assigns every point of ds to its nearest center. centers holds
 // dataset indices; workers bounds the goroutine pool (0 means GOMAXPROCS).
 func Evaluate(ds *metric.Dataset, centers []int, workers int) *Evaluation {
+	return evaluate(ds, centers, workers, modeAdaptive)
+}
+
+func evaluate(ds *metric.Dataset, centers []int, workers int, mode evalMode) *Evaluation {
 	if len(centers) == 0 {
 		panic("assign: Evaluate with no centers")
 	}
@@ -58,12 +77,25 @@ func Evaluate(ds *metric.Dataset, centers []int, workers int) *Evaluation {
 		ClusterSizes: make([]int, len(centers)),
 		Farthest:     -1,
 	}
-	// Copy center coordinates once so the inner loop reads a compact block,
-	// and precompute the center-center matrix that lets each point's scan
-	// skip centers the triangle inequality rules out. Pruned is immutable,
-	// so all workers share it.
-	pr := metric.NewPruned(ds.Subset(centers))
-	ev.DistEvals = pr.MatrixEvals()
+	// Copy center coordinates once so the inner loop reads a compact block.
+	// Above the crossover, additionally precompute the center-center matrix
+	// that lets each point's scan skip centers the triangle inequality rules
+	// out. Pruned is immutable, so all workers share it; nearest is the
+	// per-point kernel either way, with identical index/distance results.
+	cpts := ds.Subset(centers)
+	var nearest func(q []float64) (int, float64, int64)
+	usePruned := mode == modePruned || (mode == modeAdaptive && metric.PreferPruned(len(centers), ds.Dim))
+	if usePruned {
+		pr := metric.NewPruned(cpts)
+		ev.DistEvals = pr.MatrixEvals()
+		nearest = pr.Nearest
+	} else {
+		k := cpts.N
+		nearest = func(q []float64) (int, float64, int64) {
+			c, sq := metric.NearestInRange(cpts, 0, k, q)
+			return c, sq, int64(k)
+		}
+	}
 
 	type partial struct {
 		radiusSq float64
@@ -94,7 +126,7 @@ func Evaluate(ds *metric.Dataset, centers []int, workers int) *Evaluation {
 			defer wg.Done()
 			p := partial{farthest: -1, sizes: make([]int, len(centers))}
 			for i := lo; i < hi; i++ {
-				bestC, bestSq, evals := pr.Nearest(ds.At(i))
+				bestC, bestSq, evals := nearest(ds.At(i))
 				p.evals += evals
 				ev.Assignment[i] = bestC
 				ev.Dist[i] = math.Sqrt(bestSq)

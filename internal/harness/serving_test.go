@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kcenter/internal/dataset"
+)
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := percentile(append([]float64(nil), xs...), 0.5); got != 3 {
+		t.Fatalf("p50 = %v, want 3", got)
+	}
+	if got := percentile(append([]float64(nil), xs...), 0.99); got != 5 {
+		t.Fatalf("p99 = %v, want 5", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty p50 = %v, want 0", got)
+	}
+	if got := percentile([]float64{7}, 0.01); got != 7 {
+		t.Fatalf("singleton p1 = %v, want 7", got)
+	}
+}
+
+func TestRunServeMixedWorkload(t *testing.T) {
+	ds := dataset.Gau(dataset.GauConfig{N: 4000, KPrime: 10, Seed: 9}).Points
+	m, err := RunServe(ds, ServeSpec{K: 10, Shards: 2, Clients: 3, Batch: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ingested != 4000 {
+		t.Fatalf("ingested %d, want 4000", m.Ingested)
+	}
+	if m.QPS <= 0 || m.IngestPointsPerSec <= 0 {
+		t.Fatalf("throughput not measured: %+v", m)
+	}
+	if m.IngestP50 <= 0 || m.AssignP50 <= 0 {
+		t.Fatalf("latency percentiles not measured: %+v", m)
+	}
+	if m.IngestP99 < m.IngestP50 || m.AssignP99 < m.AssignP50 {
+		t.Fatalf("p99 below p50: %+v", m)
+	}
+}
+
+func TestServeExperimentRegistered(t *testing.T) {
+	e, ok := ByID("serve")
+	if !ok {
+		t.Fatal("serve experiment not registered")
+	}
+	var buf bytes.Buffer
+	// Scale all the way down so the registry experiment stays test-sized.
+	if err := e.Run(RunConfig{Scale: 200, Repeats: 1, Seed: 3}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"clients", "ingest-p50", "assign-p99", "QPS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("experiment output missing %q:\n%s", want, out)
+		}
+	}
+}

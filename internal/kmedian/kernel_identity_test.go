@@ -1,0 +1,185 @@
+package kmedian
+
+import (
+	"math"
+	"testing"
+
+	"kcenter/internal/core"
+	"kcenter/internal/metric"
+	"kcenter/internal/rng"
+)
+
+// costReference is the pre-kernel per-index Cost loop.
+func costReference(ds *metric.Dataset, centers []int) float64 {
+	total := 0.0
+	for i := 0; i < ds.N; i++ {
+		best := math.Inf(1)
+		for _, c := range centers {
+			if sq := ds.SqDist(i, c); sq < best {
+				best = sq
+			}
+		}
+		total += math.Sqrt(best)
+	}
+	return total
+}
+
+// localSearchReference is the pre-kernel formulation of weightedLocalSearch:
+// per-index SqDist loops, no gathering. The kernel-backed search must
+// reproduce its swaps, centers, cost and swap count bit for bit.
+func localSearchReference(ds *metric.Dataset, idx []int, w []float64, k int, opt Options) ([]int, float64, int) {
+	u := len(idx)
+	if k > u {
+		k = u
+	}
+	eps := opt.Epsilon
+	if eps <= 0 {
+		eps = 0.01
+	}
+	maxSwaps := opt.MaxSwaps
+	if maxSwaps <= 0 {
+		maxSwaps = 4*k*int(math.Log(float64(u)+2)) + 64
+	}
+	r := rng.New(opt.Seed)
+
+	seed := core.GonzalezSubset(ds, idx, k, core.Options{First: 0})
+	centers := append([]int(nil), seed.Centers...)
+
+	d1 := make([]float64, u)
+	d2 := make([]float64, u)
+	pos := make([]int, u)
+	recompute := func() float64 {
+		total := 0.0
+		for i := 0; i < u; i++ {
+			b1, b2, p := math.Inf(1), math.Inf(1), 0
+			pi := ds.At(idx[i])
+			for c, ci := range centers {
+				d := math.Sqrt(metric.SqDist(pi, ds.At(ci)))
+				if d < b1 {
+					b2 = b1
+					b1 = d
+					p = c
+				} else if d < b2 {
+					b2 = d
+				}
+			}
+			d1[i], d2[i], pos[i] = b1, b2, p
+			total += w[i] * b1
+		}
+		return total
+	}
+	cost := recompute()
+	swaps := 0
+
+	for swaps < maxSwaps {
+		improved := false
+		var candidates []int
+		if opt.CandidateSample > 0 && opt.CandidateSample < u {
+			candidates = r.Sample(u, opt.CandidateSample)
+		} else {
+			candidates = make([]int, u)
+			for i := range candidates {
+				candidates[i] = i
+			}
+		}
+		bestGain := 0.0
+		bestIn, bestOut := -1, -1
+		for _, cand := range candidates {
+			in := idx[cand]
+			if contains(centers, in) {
+				continue
+			}
+			pin := ds.At(in)
+			delta := make([]float64, len(centers))
+			for i := 0; i < u; i++ {
+				din := math.Sqrt(metric.SqDist(ds.At(idx[i]), pin))
+				if din < d1[i] {
+					for o := range delta {
+						delta[o] += w[i] * (din - d1[i])
+					}
+					continue
+				}
+				alt := din
+				if d2[i] < alt {
+					alt = d2[i]
+				}
+				delta[pos[i]] += w[i] * (alt - d1[i])
+			}
+			for o := range delta {
+				if delta[o] < bestGain {
+					bestGain = delta[o]
+					bestIn, bestOut = in, o
+				}
+			}
+		}
+		if bestIn >= 0 && -bestGain > eps/float64(len(centers))*cost {
+			centers[bestOut] = bestIn
+			cost = recompute()
+			swaps++
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+	return centers, cost, swaps
+}
+
+// TestCostBitIdenticalToReference pins the gathered-kernel Cost against the
+// per-index loop over the specialized kernel dims and the generic fallback.
+func TestCostBitIdenticalToReference(t *testing.T) {
+	for _, dim := range []int{1, 2, 3, 4, 6, 8} {
+		r := rng.New(uint64(40 + dim))
+		n := 400
+		ds := metric.NewDataset(n, dim)
+		for i := range ds.Data {
+			ds.Data[i] = r.Float64Range(-20, 20)
+		}
+		for _, k := range []int{1, 3, 9} {
+			centers := r.Sample(n, k)
+			got := Cost(ds, centers)
+			want := costReference(ds, centers)
+			if got != want {
+				t.Fatalf("dim=%d k=%d: Cost %v != reference %v", dim, k, got, want)
+			}
+		}
+	}
+}
+
+// TestLocalSearchBitIdenticalToReference pins the gathered-kernel local
+// search against the per-index reference: identical centers, identical cost
+// bits, identical swap counts — on full candidate passes and on sampled
+// ones (the sampling consumes the rng identically in both).
+func TestLocalSearchBitIdenticalToReference(t *testing.T) {
+	for _, dim := range []int{2, 3, 5} {
+		r := rng.New(uint64(70 + dim))
+		n := 120
+		ds := metric.NewDataset(n, dim)
+		for i := range ds.Data {
+			ds.Data[i] = r.Float64Range(0, 100)
+		}
+		idx := make([]int, n)
+		w := make([]float64, n)
+		for i := range idx {
+			idx[i] = i
+			w[i] = 1 + float64(r.Intn(3))
+		}
+		for _, opt := range []Options{
+			{},
+			{CandidateSample: 20, Seed: 5},
+			{Epsilon: 0.001, MaxSwaps: 10},
+		} {
+			gotC, gotCost, gotSwaps := weightedLocalSearch(ds, idx, w, 6, opt)
+			wantC, wantCost, wantSwaps := localSearchReference(ds, idx, w, 6, opt)
+			if gotCost != wantCost || gotSwaps != wantSwaps {
+				t.Fatalf("dim=%d opt=%+v: cost/swaps (%v, %d) != reference (%v, %d)",
+					dim, opt, gotCost, gotSwaps, wantCost, wantSwaps)
+			}
+			for i := range wantC {
+				if gotC[i] != wantC[i] {
+					t.Fatalf("dim=%d opt=%+v: centers[%d] = %d, want %d", dim, opt, i, gotC[i], wantC[i])
+				}
+			}
+		}
+	}
+}

@@ -52,15 +52,14 @@ type Result struct {
 }
 
 // Cost returns the (uniform-weight) k-median objective of centers over ds.
+// The centers are gathered once so each point's nearest-center scan is one
+// contiguous one-to-many kernel call; the per-point minimum (and hence the
+// sum) is bit-identical to the per-index loop it replaces.
 func Cost(ds *metric.Dataset, centers []int) float64 {
+	cpts := ds.Subset(centers)
 	total := 0.0
 	for i := 0; i < ds.N; i++ {
-		best := math.Inf(1)
-		for _, c := range centers {
-			if sq := ds.SqDist(i, c); sq < best {
-				best = sq
-			}
-		}
+		_, best := metric.NearestInRange(cpts, 0, cpts.N, ds.At(i))
 		total += math.Sqrt(best)
 	}
 	return total
@@ -124,18 +123,30 @@ func weightedLocalSearch(ds *metric.Dataset, idx []int, w []float64, k int, opt 
 	seed := core.GonzalezSubset(ds, idx, k, core.Options{First: 0})
 	centers := append([]int(nil), seed.Centers...)
 
+	// Gather the candidate points once: the nearest/second-nearest rebuild
+	// and every swap-in evaluation below are then contiguous one-to-many
+	// kernel scans over this block instead of per-index SqDist calls. The
+	// gathered rows are bit-equal copies and SqDistsInto accumulates in
+	// SqDist's exact floating-point order, so distances — and therefore the
+	// chosen swaps, costs and convergence — are unchanged bit for bit.
+	sub := ds.Subset(idx)
+	crow := make([]float64, k)
+	dinRow := make([]float64, u)
+
 	// pos[i]: index into centers of the nearest center of candidate i;
 	// d1/d2: distance to nearest and second-nearest centers.
 	d1 := make([]float64, u)
 	d2 := make([]float64, u)
 	pos := make([]int, u)
 	recompute := func() float64 {
+		cpts := ds.Subset(centers)
+		crow = crow[:cpts.N]
 		total := 0.0
 		for i := 0; i < u; i++ {
+			metric.SqDistsInto(crow, cpts, 0, cpts.N, sub.At(i))
 			b1, b2, p := math.Inf(1), math.Inf(1), 0
-			pi := ds.At(idx[i])
-			for c, ci := range centers {
-				d := math.Sqrt(metric.SqDist(pi, ds.At(ci)))
+			for c := range crow {
+				d := math.Sqrt(crow[c])
 				if d < b1 {
 					b2 = b1
 					b1 = d
@@ -171,7 +182,10 @@ func weightedLocalSearch(ds *metric.Dataset, idx []int, w []float64, k int, opt 
 			if contains(centers, in) {
 				continue
 			}
-			pin := ds.At(in)
+			// One kernel pass materializes every candidate's squared distance
+			// to the swap-in point (sub.At(cand) is a bit-equal copy of
+			// ds.At(in)).
+			metric.SqDistsInto(dinRow, sub, 0, u, sub.At(cand))
 			// For swap-in `in` and each swap-out position o, the new cost of
 			// candidate i is:
 			//   min(d(i,in), d1_i)          if pos[i] != o
@@ -179,7 +193,7 @@ func weightedLocalSearch(ds *metric.Dataset, idx []int, w []float64, k int, opt 
 			// Accumulate per-out deltas in one pass over the points.
 			delta := make([]float64, len(centers)) // delta[o] = cost change if out=o
 			for i := 0; i < u; i++ {
-				din := math.Sqrt(metric.SqDist(ds.At(idx[i]), pin))
+				din := math.Sqrt(dinRow[i])
 				if din < d1[i] {
 					// Point switches to `in` regardless of which center
 					// leaves.
@@ -270,16 +284,13 @@ func Distributed(ds *metric.Dataset, cfg DistributedConfig) (*Result, error) {
 				w[j] = 1
 			}
 			centers, _, _ := weightedLocalSearch(ds, part, w, cfg.K, cfg.Local)
-			// Weight each local center by its assignment count.
+			// Weight each local center by its assignment count, scanning the
+			// gathered centers with the one-to-many kernel (same strict-<
+			// tie-breaking as the per-index loop it replaces).
+			cpts := ds.Subset(centers)
 			cw := make([]float64, len(centers))
 			for _, p := range part {
-				best, bestC := math.Inf(1), 0
-				for c, ci := range centers {
-					if sq := ds.SqDist(p, ci); sq < best {
-						best = sq
-						bestC = c
-					}
-				}
+				bestC, _ := metric.NearestInRange(cpts, 0, cpts.N, ds.At(p))
 				cw[bestC]++
 			}
 			ops.Add(int64(len(part)) * int64(len(centers)))

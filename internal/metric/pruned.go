@@ -156,3 +156,28 @@ func (p *Pruned) nearest2(q []float64) (int, float64, int64) {
 // a sqrt-free skip certificate, cc(c_b, c) >= 2·(bestSq + lim²) ⇒
 // d(c_b, c) >= d(p, c_b) + lim (AM–GM); that variant lives where its
 // incremental matrix does, in stream.Summary.coveredWithin.
+
+// PreferPruned reports whether a triangle-inequality-pruned nearest-center
+// scan (Pruned.Nearest) is expected to beat the plain one-to-many kernel
+// scan (NearestInRange) for many queries against k centers of dimension
+// dim. Both produce bit-identical results; this only picks the faster one.
+//
+// The crossover is fitted from the committed BENCH_kernels.json baseline:
+// at dim 2 and k = 25 the pruned scan is roughly break-even against the
+// full scan (BenchmarkKernelPrunedNearest: 785 µs pruned vs 731 µs full,
+// and the k²-matrix build is amortized on top), because a dim-2 distance
+// is only four flops — about the cost of the matrix-row check that would
+// skip it. The saving per skipped candidate grows linearly with dim while
+// the check stays constant, so the break-even k shrinks roughly like 1/dim:
+// k > 64/dim (clamped to k > 8) puts every measured configuration on the
+// winning side with margin.
+func PreferPruned(k, dim int) bool {
+	if dim <= 0 {
+		dim = 1
+	}
+	threshold := 64 / dim
+	if threshold < 8 {
+		threshold = 8
+	}
+	return k > threshold
+}

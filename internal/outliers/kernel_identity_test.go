@@ -1,0 +1,157 @@
+package outliers
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"kcenter/internal/dataset"
+	"kcenter/internal/metric"
+	"kcenter/internal/rng"
+)
+
+// referenceGreedySearch is the pre-kernel formulation of
+// weightedGreedySearch + weightedGreedy: per-index SqDist loops with no
+// gathering. The kernel-backed implementation must reproduce its centers
+// bit for bit — same candidate radii, same greedy picks at every guess,
+// same binary-search outcome.
+func referenceGreedySearch(ds *metric.Dataset, idx []int, w []float64, k int, zWeight float64) []int {
+	u := len(idx)
+	cand := make([]float64, 0, u*(u-1)/2+1)
+	cand = append(cand, 0)
+	for i := 0; i < u; i++ {
+		for j := i + 1; j < u; j++ {
+			cand = append(cand, ds.SqDist(idx[i], idx[j]))
+		}
+	}
+	sort.Float64s(cand)
+	cand = uniqueSorted(cand)
+
+	greedy := func(sqR float64) ([]int, bool) {
+		covered := make([]bool, u)
+		centers := make([]int, 0, k)
+		sq3R := 9 * sqR
+		for pick := 0; pick < k; pick++ {
+			bestGain, bestI := -1.0, -1
+			for i := 0; i < u; i++ {
+				gain := 0.0
+				pi := ds.At(idx[i])
+				for j := 0; j < u; j++ {
+					if covered[j] {
+						continue
+					}
+					if metric.SqDist(pi, ds.At(idx[j])) <= sqR {
+						gain += w[j]
+					}
+				}
+				if gain > bestGain {
+					bestGain = gain
+					bestI = i
+				}
+			}
+			if bestI < 0 {
+				break
+			}
+			centers = append(centers, idx[bestI])
+			pb := ds.At(idx[bestI])
+			for j := 0; j < u; j++ {
+				if !covered[j] && metric.SqDist(pb, ds.At(idx[j])) <= sq3R {
+					covered[j] = true
+				}
+			}
+		}
+		uncovered := 0.0
+		for j := 0; j < u; j++ {
+			if !covered[j] {
+				uncovered += w[j]
+			}
+		}
+		return centers, uncovered <= zWeight
+	}
+
+	lo, hi := 0, len(cand)-1
+	var best []int
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		centers, ok := greedy(cand[mid])
+		if ok {
+			best = centers
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	return best
+}
+
+// TestGreedySearchBitIdenticalToReference pins the gathered-kernel rewrite
+// of the robust greedy against the per-index reference across dimensions
+// hitting the specialized kernels (2, 3, 4, 8) and the generic fallback,
+// with both uniform and non-uniform weights.
+func TestGreedySearchBitIdenticalToReference(t *testing.T) {
+	for _, dim := range []int{1, 2, 3, 4, 5, 8} {
+		r := rng.New(uint64(100 + dim))
+		n := 60
+		ds := metric.NewDataset(n, dim)
+		for i := range ds.Data {
+			ds.Data[i] = r.Float64Range(-50, 50)
+		}
+		idx := make([]int, n)
+		w := make([]float64, n)
+		for i := range idx {
+			idx[i] = i
+			w[i] = 1 + float64(r.Intn(5))
+		}
+		for _, kz := range [][2]int{{2, 3}, {4, 0}, {5, 8}} {
+			k, z := kz[0], kz[1]
+			got, err := weightedGreedySearch(ds, idx, w, k, float64(z))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := referenceGreedySearch(ds, idx, w, k, float64(z))
+			if len(got) != len(want) {
+				t.Fatalf("dim=%d k=%d z=%d: %d centers, want %d", dim, k, z, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("dim=%d k=%d z=%d: centers[%d] = %d, want %d (got %v want %v)",
+						dim, k, z, i, got[i], want[i], got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWeightingLoopBitIdenticalToReference pins the Distributed round-1
+// rewrite: assigning partition points to gathered local centers with
+// metric.NearestInRange must pick the same center positions as the
+// per-index strict-< loop it replaced.
+func TestWeightingLoopBitIdenticalToReference(t *testing.T) {
+	for _, dim := range []int{2, 3, 7} {
+		l := dataset.Unif(dataset.UnifConfig{N: 500, Seed: uint64(dim)})
+		ds := l.Points
+		if dim != 2 {
+			r := rng.New(uint64(dim) * 13)
+			ds = metric.NewDataset(500, dim)
+			for i := range ds.Data {
+				ds.Data[i] = r.Float64Range(0, 100)
+			}
+		}
+		centers := []int{3, 99, 250, 499, 7}
+		cpts := ds.Subset(centers)
+		for p := 0; p < ds.N; p++ {
+			best, bestC := math.Inf(1), 0
+			for c, ci := range centers {
+				if sq := ds.SqDist(p, ci); sq < best {
+					best = sq
+					bestC = c
+				}
+			}
+			gotC, gotSq := metric.NearestInRange(cpts, 0, cpts.N, ds.At(p))
+			if gotC != bestC || gotSq != best {
+				t.Fatalf("dim=%d point %d: kernel (%d, %v) != reference (%d, %v)",
+					dim, p, gotC, gotSq, bestC, best)
+			}
+		}
+	}
+}

@@ -112,16 +112,13 @@ func Distributed(ds *metric.Dataset, cfg DistributedConfig) (*Result, error) {
 			g := core.GonzalezSubset(ds, part, perMachine, core.Options{First: 0})
 			ops.Add(g.DistEvals)
 			// Weight each local center by how many partition points it
-			// represents.
+			// represents: gather the centers once so each point's scan is a
+			// contiguous one-to-many kernel call (same strict-< tie-breaking
+			// as the per-index loop it replaces).
+			cpts := ds.Subset(g.Centers)
 			w := make([]float64, len(g.Centers))
 			for _, p := range part {
-				best, bestC := math.Inf(1), 0
-				for c, ci := range g.Centers {
-					if sq := ds.SqDist(p, ci); sq < best {
-						best = sq
-						bestC = c
-					}
-				}
+				bestC, _ := metric.NearestInRange(cpts, 0, cpts.N, ds.At(p))
 				w[bestC]++
 			}
 			ops.Add(int64(len(part)) * int64(len(g.Centers)))
@@ -164,18 +161,26 @@ func Distributed(ds *metric.Dataset, cfg DistributedConfig) (*Result, error) {
 // weightedGreedySearch binary-searches candidate radii (pairwise distances
 // among the candidate points) for the smallest guess at which the weighted
 // greedy leaves at most zWeight uncovered, returning that greedy's centers.
+//
+// The candidate points are gathered into one contiguous block up front, so
+// the pairwise-radius enumeration and every greedy pass below run on the
+// one-to-many kernels instead of chasing idx indirections per distance.
+// SqDistsInto accumulates in SqDist's exact floating-point order (squared
+// differences are sign-insensitive), so the candidate radii, greedy picks
+// and feasibility outcomes are bit-identical to the per-index formulation.
 func weightedGreedySearch(ds *metric.Dataset, idx []int, w []float64, k int, zWeight float64) ([]int, error) {
 	u := len(idx)
 	if u == 0 {
 		return nil, fmt.Errorf("outliers: no candidate points")
 	}
+	sub := ds.Subset(idx)
+	dists := make([]float64, u)
 	// Candidate squared radii: pairwise distances plus zero.
 	cand := make([]float64, 0, u*(u-1)/2+1)
 	cand = append(cand, 0)
 	for i := 0; i < u; i++ {
-		for j := i + 1; j < u; j++ {
-			cand = append(cand, ds.SqDist(idx[i], idx[j]))
-		}
+		metric.SqDistsInto(dists[:u-i-1], sub, i+1, u, sub.At(i))
+		cand = append(cand, dists[:u-i-1]...)
 	}
 	sort.Float64s(cand)
 	cand = uniqueSorted(cand)
@@ -184,7 +189,7 @@ func weightedGreedySearch(ds *metric.Dataset, idx []int, w []float64, k int, zWe
 	var best []int
 	for lo <= hi {
 		mid := (lo + hi) / 2
-		centers, ok := weightedGreedy(ds, idx, w, k, zWeight, cand[mid])
+		centers, ok := weightedGreedy(sub, w, k, zWeight, cand[mid], dists)
 		if ok {
 			best = centers
 			hi = mid - 1
@@ -197,28 +202,46 @@ func weightedGreedySearch(ds *metric.Dataset, idx []int, w []float64, k int, zWe
 		// largest pairwise distance covers every candidate; guard anyway.
 		return nil, fmt.Errorf("outliers: no feasible radius found")
 	}
+	// The greedy works in gathered positions; translate back to ds indices.
+	for i, pos := range best {
+		best[i] = idx[pos]
+	}
 	return best, nil
 }
 
-// weightedGreedy runs one Charikar-style pass at squared radius sqR: k times
-// pick the candidate covering the most uncovered weight within r, discard
-// everything within 3r. Reports whether the uncovered weight is <= zWeight.
-func weightedGreedy(ds *metric.Dataset, idx []int, w []float64, k int, zWeight, sqR float64) ([]int, bool) {
-	u := len(idx)
+// weightedGreedy runs one Charikar-style pass at squared radius sqR over the
+// gathered candidate block sub: k times pick the candidate covering the most
+// uncovered weight within r, discard everything within 3r. Returned centers
+// are positions into sub; dists is caller-provided scratch of length sub.N.
+// Reports whether the uncovered weight is <= zWeight.
+//
+// The still-uncovered candidates are kept compacted in a live block that is
+// re-gathered after each pick, so every gain scan is one contiguous kernel
+// call over exactly the |uncovered| distances the per-index loop would have
+// evaluated — late rounds, where most weight is covered, stay cheap. The
+// compaction preserves ascending candidate order, so gains accumulate in
+// the reference loop's exact floating-point order.
+func weightedGreedy(sub *metric.Dataset, w []float64, k int, zWeight, sqR float64, dists []float64) ([]int, bool) {
+	u := sub.N
 	covered := make([]bool, u)
 	centers := make([]int, 0, k)
 	sq3R := 9 * sqR
+	// live[p] is the original position of the p-th uncovered candidate;
+	// liveSub holds their coordinates contiguously, in the same order.
+	live := make([]int, u)
+	for i := range live {
+		live[i] = i
+	}
+	liveSub := sub
 	for pick := 0; pick < k; pick++ {
-		// Choose the candidate whose r-disk covers the most uncovered weight.
+		// Choose the candidate (covered ones included — they remain legal
+		// centers) whose r-disk covers the most uncovered weight.
 		bestGain, bestI := -1.0, -1
 		for i := 0; i < u; i++ {
+			metric.SqDistsInto(dists[:len(live)], liveSub, 0, len(live), sub.At(i))
 			gain := 0.0
-			pi := ds.At(idx[i])
-			for j := 0; j < u; j++ {
-				if covered[j] {
-					continue
-				}
-				if metric.SqDist(pi, ds.At(idx[j])) <= sqR {
+			for p, j := range live {
+				if dists[p] <= sqR {
 					gain += w[j]
 				}
 			}
@@ -230,19 +253,25 @@ func weightedGreedy(ds *metric.Dataset, idx []int, w []float64, k int, zWeight, 
 		if bestI < 0 {
 			break
 		}
-		centers = append(centers, idx[bestI])
-		pb := ds.At(idx[bestI])
-		for j := 0; j < u; j++ {
-			if !covered[j] && metric.SqDist(pb, ds.At(idx[j])) <= sq3R {
+		centers = append(centers, bestI)
+		metric.SqDistsInto(dists[:len(live)], liveSub, 0, len(live), sub.At(bestI))
+		keep := live[:0]
+		for p, j := range live {
+			if dists[p] <= sq3R {
 				covered[j] = true
+			} else {
+				keep = append(keep, j)
 			}
 		}
+		live = keep
+		// An empty live block is legal (everything covered): the remaining
+		// picks degenerate to gain-0 selections of position 0, exactly as
+		// the per-index loop behaved.
+		liveSub = sub.Subset(live)
 	}
 	uncovered := 0.0
-	for j := 0; j < u; j++ {
-		if !covered[j] {
-			uncovered += w[j]
-		}
+	for _, j := range live {
+		uncovered += w[j]
 	}
 	return centers, uncovered <= zWeight
 }

@@ -164,7 +164,7 @@ func TestWeightedGreedyRespectsWeights(t *testing.T) {
 	// Two candidate locations; one carries weight 100, the other weight 1.
 	// With k=1 and outlier budget 1, the greedy must pick the heavy one.
 	ds, _ := metric.FromPoints([][]float64{{0}, {50}})
-	centers, ok := weightedGreedy(ds, []int{0, 1}, []float64{100, 1}, 1, 1, 0.25)
+	centers, ok := weightedGreedy(ds, []float64{100, 1}, 1, 1, 0.25, make([]float64, ds.N))
 	if !ok {
 		t.Fatal("expected feasible: light point fits the budget")
 	}

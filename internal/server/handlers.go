@@ -1,0 +1,344 @@
+// HTTP handlers and the /v1 wire format. All bodies are JSON; errors are
+// {"error": "..."} with a meaningful status code: 400 malformed input or
+// dimension mismatch, 404 unknown route, 405 wrong method, 409 querying
+// before any data has been ingested, 413 batch over the configured limit,
+// 503 shutting down or backpressure timeout.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// ingestRequest is the POST /v1/ingest body.
+type ingestRequest struct {
+	// Points holds the batch, one row per point, all rows the same
+	// dimension (and the same dimension as every previous batch).
+	Points [][]float64 `json:"points"`
+}
+
+// ingestResponse acknowledges an accepted batch. Acceptance means the batch
+// is queued for ingestion, not yet reflected in snapshots (202, not 200).
+type ingestResponse struct {
+	// Accepted is the number of points queued from this batch.
+	Accepted int `json:"accepted"`
+	// PendingBatches is the queue depth after this batch, a congestion
+	// signal producers can throttle on.
+	PendingBatches int64 `json:"pending_batches"`
+	// IngestedTotal is the number of points handed to the clustering so
+	// far, across all batches.
+	IngestedTotal int64 `json:"ingested_total"`
+}
+
+// assignRequest is the POST /v1/assign body.
+type assignRequest struct {
+	Points [][]float64 `json:"points"`
+}
+
+// snapshotMeta identifies the consistent snapshot a response was computed
+// against.
+type snapshotMeta struct {
+	// Version is the center-set version the snapshot was keyed by; equal
+	// versions across responses mean the identical center set.
+	Version uint64 `json:"version"`
+	// Centers is the number of centers in the snapshot (≤ k).
+	Centers int `json:"centers"`
+	// Radius is the certified coverage bound of the snapshot: every point
+	// ingested before the snapshot lies within Radius of some center.
+	Radius float64 `json:"radius"`
+	// LowerBound is the certified lower bound on the optimal radius.
+	LowerBound float64 `json:"lower_bound"`
+	// Ingested is the number of points reflected when the snapshot was
+	// built. Later points that did not change the center set (the
+	// steady-state common case, which leaves Version unchanged) are also
+	// covered within Radius — a point is only discarded when an existing
+	// center already covers it — but they are not counted here; compare
+	// /v1/stats ingested_points for the live total.
+	Ingested int64 `json:"ingested"`
+}
+
+// assignment is one query point's result.
+type assignment struct {
+	// Center is the position of the nearest center in the snapshot's
+	// center list (as returned by /v1/centers at the same version).
+	Center int `json:"center"`
+	// Distance is the distance to that center.
+	Distance float64 `json:"distance"`
+}
+
+// assignResponse is the POST /v1/assign reply. Every assignment in one
+// response was computed against the single snapshot named in Snapshot.
+type assignResponse struct {
+	Snapshot    snapshotMeta `json:"snapshot"`
+	Assignments []assignment `json:"assignments"`
+}
+
+// centersResponse is the GET /v1/centers reply.
+type centersResponse struct {
+	Snapshot snapshotMeta `json:"snapshot"`
+	Centers  [][]float64  `json:"centers"`
+}
+
+// shardStats is one shard's state in the stats reply.
+type shardStats struct {
+	Ingested int64   `json:"ingested"`
+	Centers  int     `json:"centers"`
+	R        float64 `json:"r"`
+	// Doublings is the shard's doubling level: how many times its radius
+	// has doubled (each level certifies OPT grew past the previous r).
+	Doublings int `json:"doublings"`
+}
+
+// statsResponse is the GET /v1/stats reply.
+type statsResponse struct {
+	K               int     `json:"k"`
+	Shards          int     `json:"shards"`
+	Dim             int     `json:"dim"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	AcceptedPoints  int64   `json:"accepted_points"`
+	AcceptedBatches int64   `json:"accepted_batches"`
+	PendingBatches  int64   `json:"pending_batches"`
+	IngestedPoints  int64   `json:"ingested_points"`
+	AssignRequests  int64   `json:"assign_requests"`
+	AssignPoints    int64   `json:"assign_points"`
+	// DistEvals counts assignment distance evaluations actually performed
+	// (pruning makes this sub-linear in k per point above the crossover).
+	DistEvals      int64         `json:"dist_evals"`
+	SnapshotBuilds int64         `json:"snapshot_builds"`
+	Snapshot       *snapshotMeta `json:"snapshot,omitempty"`
+	PerShard       []shardStats  `json:"per_shard,omitempty"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Service) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("/v1/assign", s.handleAssign)
+	s.mux.HandleFunc("/v1/centers", s.handleCenters)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	// Catch-all so unknown routes honor the JSON error contract instead of
+	// the default text/plain 404 page.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "unknown route "+r.URL.Path)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// decodeBatch decodes and validates a points batch shared by ingest and
+// assign: well-formed JSON, 1..MaxBatch points, every point non-empty with
+// finite coordinates and a consistent dimension. wantDim > 0 additionally
+// pins the dimension (the service's first-seen one); wantDim == 0 accepts
+// the batch's own first row as the reference. It writes the error response
+// itself and returns nil when the batch is rejected.
+func (s *Service) decodeBatch(w http.ResponseWriter, r *http.Request, wantDim int) [][]float64 {
+	defer r.Body.Close()
+	// Cap the body BEFORE decoding so MaxBatch actually bounds memory: an
+	// over-limit body must not be materialized just to be counted. 4 KiB
+	// per allowed point (dozens of full-precision coordinates) plus fixed
+	// slack is generous for any legitimate batch.
+	limit := int64(s.cfg.MaxBatch)*4096 + 1<<20
+	body := http.MaxBytesReader(w, r.Body, limit)
+	var req ingestRequest // assignRequest has the same shape
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds "+strconv.FormatInt(limit, 10)+" bytes")
+			return nil
+		}
+		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return nil
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch: need at least one point")
+		return nil
+	}
+	if len(req.Points) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of "+strconv.Itoa(len(req.Points))+" points exceeds max_batch="+strconv.Itoa(s.cfg.MaxBatch))
+		return nil
+	}
+	dim := wantDim
+	for i, p := range req.Points {
+		if len(p) == 0 {
+			writeError(w, http.StatusBadRequest, "point "+strconv.Itoa(i)+" is empty")
+			return nil
+		}
+		if dim == 0 {
+			dim = len(p)
+		}
+		if len(p) != dim {
+			writeError(w, http.StatusBadRequest,
+				"point "+strconv.Itoa(i)+" has dimension "+strconv.Itoa(len(p))+", want "+strconv.Itoa(dim))
+			return nil
+		}
+		for _, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				writeError(w, http.StatusBadRequest, "point "+strconv.Itoa(i)+" has a non-finite coordinate")
+				return nil
+			}
+		}
+	}
+	return req.Points
+}
+
+// serviceDim returns the first-seen dimensionality, or 0 when nothing has
+// been accepted yet.
+func (s *Service) serviceDim() int { return int(s.dim.Load()) }
+
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	batch := s.decodeBatch(w, r, s.serviceDim())
+	if batch == nil {
+		return
+	}
+	// Pin the service dimension on first contact; a concurrent first batch
+	// of a different dimension loses the CAS and is re-validated against
+	// the winner.
+	d := int64(len(batch[0]))
+	if !s.dim.CompareAndSwap(0, d) && s.dim.Load() != d {
+		writeError(w, http.StatusBadRequest,
+			"batch dimension "+strconv.Itoa(int(d))+", want "+strconv.Itoa(s.serviceDim()))
+		return
+	}
+	if err := s.enqueue(r.Context(), batch); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	s.acceptedPoints.Add(int64(len(batch)))
+	s.acceptedBatches.Add(1)
+	expstats.Add("accepted_points", int64(len(batch)))
+	expstats.Add("accepted_batches", 1)
+	writeJSON(w, http.StatusAccepted, ingestResponse{
+		Accepted:       len(batch),
+		PendingBatches: s.pendingBatches.Load(),
+		IngestedTotal:  s.ingestedPoints.Load(),
+	})
+}
+
+func meta(qs *querySnapshot) snapshotMeta {
+	return snapshotMeta{
+		Version:    qs.version,
+		Centers:    qs.res.Centers.N,
+		Radius:     qs.res.Bound,
+		LowerBound: qs.res.LowerBound,
+		Ingested:   qs.res.Ingested,
+	}
+}
+
+func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	dim := s.serviceDim()
+	if dim == 0 {
+		writeError(w, http.StatusConflict, "no points ingested yet")
+		return
+	}
+	batch := s.decodeBatch(w, r, dim)
+	if batch == nil {
+		return
+	}
+	qs, err := s.snapshot()
+	if err != nil {
+		// Points accepted but none drained into a shard yet.
+		writeError(w, http.StatusConflict, "no centers yet: "+err.Error())
+		return
+	}
+	resp := assignResponse{
+		Snapshot:    meta(qs),
+		Assignments: make([]assignment, len(batch)),
+	}
+	var evals int64
+	for i, p := range batch {
+		c, sq, e := qs.nearest(p)
+		evals += e
+		resp.Assignments[i] = assignment{Center: c, Distance: math.Sqrt(sq)}
+	}
+	s.assignRequests.Add(1)
+	s.assignPoints.Add(int64(len(batch)))
+	s.distEvals.Add(evals)
+	expstats.Add("assign_requests", 1)
+	expstats.Add("assign_points", int64(len(batch)))
+	expstats.Add("assign_dist_evals", evals)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleCenters(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	qs, err := s.snapshot()
+	if err != nil {
+		writeError(w, http.StatusConflict, "no centers yet: "+err.Error())
+		return
+	}
+	centers := make([][]float64, qs.res.Centers.N)
+	for i := range centers {
+		centers[i] = append([]float64(nil), qs.res.Centers.At(i)...)
+	}
+	writeJSON(w, http.StatusOK, centersResponse{Snapshot: meta(qs), Centers: centers})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	resp := statsResponse{
+		K:               s.cfg.K,
+		Shards:          s.cfg.Shards,
+		Dim:             s.serviceDim(),
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		AcceptedPoints:  s.acceptedPoints.Load(),
+		AcceptedBatches: s.acceptedBatches.Load(),
+		PendingBatches:  s.pendingBatches.Load(),
+		IngestedPoints:  s.ingestedPoints.Load(),
+		AssignRequests:  s.assignRequests.Load(),
+		AssignPoints:    s.assignPoints.Load(),
+		DistEvals:       s.distEvals.Load(),
+		SnapshotBuilds:  s.snapshotBuilds.Load(),
+	}
+	// Per-shard state is read live (cheap per-shard read locks, no merge)
+	// so its counters stay consistent with ingested_points above instead of
+	// freezing at the last center change the way the cached snapshot does.
+	if resp.IngestedPoints > 0 {
+		for _, sh := range s.sh.PerShardStats() {
+			resp.PerShard = append(resp.PerShard, shardStats{
+				Ingested:  sh.Ingested,
+				Centers:   sh.Centers,
+				R:         sh.R,
+				Doublings: sh.Merges,
+			})
+		}
+	}
+	// The snapshot block, by contrast, deliberately describes the cached
+	// query view (what /v1/assign is answering against right now).
+	if qs, err := s.snapshot(); err == nil {
+		m := meta(qs)
+		resp.Snapshot = &m
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

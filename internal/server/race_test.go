@@ -1,0 +1,135 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"kcenter/internal/dataset"
+)
+
+// TestConcurrentIngestAssignSnapshot is the -race gate for the serving
+// layer: concurrent producers POST ingest batches while query clients POST
+// assigns and poll centers/stats, all against one live service. Beyond
+// freedom from data races it checks snapshot isolation per response: the
+// reported assignment count matches the query count and every reported
+// center position is within the snapshot's own center count.
+func TestConcurrentIngestAssignSnapshot(t *testing.T) {
+	s := newTestService(t, Config{K: 10, Shards: 4, QueueDepth: 16})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	n := 6000
+	if testing.Short() {
+		n = 1500
+	}
+	l := dataset.Gau(dataset.GauConfig{N: n, KPrime: 10, Seed: 77})
+
+	const producers, clients = 3, 3
+	var wg sync.WaitGroup
+
+	// Producers: disjoint slices of the feed, batches of 50.
+	chunk := n / producers
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			lo, hi := p*chunk, (p+1)*chunk
+			for b := lo; b < hi; b += 50 {
+				be := b + 50
+				if be > hi {
+					be = hi
+				}
+				pts := make([][]float64, 0, be-b)
+				for i := b; i < be; i++ {
+					pts = append(pts, l.Points.At(i))
+				}
+				body, _ := json.Marshal(ingestRequest{Points: pts})
+				resp, err := ts.Client().Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					t.Errorf("producer %d: ingest status %d", p, resp.StatusCode)
+					return
+				}
+			}
+		}(p)
+	}
+
+	// Query clients: assigns interleaved with centers and stats polls.
+	// Early queries may race the first drained point; 409 is a legal
+	// answer then, never after a 200 has been seen.
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			seenOK := false
+			for i := 0; i < 40; i++ {
+				q := [][]float64{l.Points.At((c*41 + i*13) % n), l.Points.At((c*17 + i*29) % n)}
+				body, _ := json.Marshal(assignRequest{Points: q})
+				resp, err := ts.Client().Post(ts.URL+"/v1/assign", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					seenOK = true
+					var ar assignResponse
+					if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+						t.Error(err)
+					}
+					resp.Body.Close()
+					if len(ar.Assignments) != len(q) {
+						t.Errorf("client %d: %d assignments for %d queries", c, len(ar.Assignments), len(q))
+						return
+					}
+					for _, a := range ar.Assignments {
+						if a.Center < 0 || a.Center >= ar.Snapshot.Centers {
+							t.Errorf("client %d: center %d outside snapshot of %d centers",
+								c, a.Center, ar.Snapshot.Centers)
+							return
+						}
+					}
+				case http.StatusConflict:
+					resp.Body.Close()
+					if seenOK {
+						t.Errorf("client %d: 409 after a successful assign", c)
+						return
+					}
+				default:
+					resp.Body.Close()
+					t.Errorf("client %d: assign status %d", c, resp.StatusCode)
+					return
+				}
+				if i%8 == 0 {
+					for _, path := range []string{"/v1/centers", "/v1/stats"} {
+						resp, err := ts.Client().Get(ts.URL + path)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						resp.Body.Close()
+					}
+				}
+			}
+		}(c)
+	}
+
+	wg.Wait()
+	ts.Close()
+	res, err := s.Close(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ingested != int64(producers*chunk) {
+		t.Fatalf("final ingested %d, want %d", res.Ingested, producers*chunk)
+	}
+}

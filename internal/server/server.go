@@ -1,0 +1,285 @@
+// Package server is the serving layer: an HTTP/JSON clustering service
+// that owns a live sharded streaming ingester (stream.Sharded) and answers
+// queries against consistent snapshots of the evolving clustering.
+//
+// The paper makes k-center fast enough to serve at scale; this package is
+// where that capacity meets traffic. Four endpoints:
+//
+//	POST /v1/ingest   batched point ingestion. Batches are validated, then
+//	                  enqueued on a bounded queue consumed by an ingest
+//	                  worker that feeds the sharded summarizer; a full queue
+//	                  blocks the handler (bounded by the request context),
+//	                  which is the backpressure signal to producers.
+//	POST /v1/assign   batch nearest-center assignment. All points of one
+//	                  request are assigned against a single cached snapshot
+//	                  (snapshot isolation), through the same adaptive
+//	                  kernels as batch evaluation: metric.Pruned above the
+//	                  pruning crossover, metric.NearestInRange below it.
+//	GET  /v1/centers  the current ≤ k center coordinates and certified
+//	                  coverage bounds.
+//	GET  /v1/stats    service counters (points, batches, distance
+//	                  evaluations), snapshot version and per-shard state
+//	                  (ingested, centers, doubling radius and level).
+//
+// Snapshot isolation and invalidation: Sharded.Snapshot() locks every shard
+// briefly and runs a Gonzalez merge, so the service caches the resulting
+// center set — plus its pruning matrix — keyed by Sharded.CentersVersion(),
+// which advances exactly when some shard's retained centers change. Most
+// pushes are discards that leave the centers untouched, so under steady
+// traffic the cache serves indefinitely and assignment costs no locking at
+// all; the first query after a center change rebuilds.
+//
+// Shutdown is graceful: Close rejects new batches, drains the queued ones
+// into the shards, then flushes the ingester's final merged result. The
+// caller (the kcenter serve CLI) shuts the http.Server down first, so
+// in-flight handlers finish before the drain begins.
+//
+// Cumulative process-wide counters are also published via expvar under the
+// "kcenter_server" map, so a standard /debug/vars handler exposes them.
+package server
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kcenter/internal/metric"
+	"kcenter/internal/stream"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// K is the number of centers the clustering maintains. Required.
+	K int
+	// Shards is the number of concurrent ingestion shards; 0 means 1.
+	Shards int
+	// Buffer is the per-shard channel depth; 0 means the stream default.
+	Buffer int
+	// MaxBatch caps the points accepted in one ingest or assign request;
+	// 0 means 4096. Larger batches get 413.
+	MaxBatch int
+	// QueueDepth bounds the ingest queue in batches; 0 means 64. When the
+	// queue is full, ingest handlers block until space frees or the request
+	// context is done — backpressure, not unbounded buffering.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.K <= 0 {
+		return c, fmt.Errorf("server: k must be >= 1, got %d", c.K)
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	return c, nil
+}
+
+// expstats publishes cumulative process-wide counters (summed over every
+// Service in the process) for standard expvar scraping.
+var expstats = expvar.NewMap("kcenter_server")
+
+// Service is the HTTP clustering service. Create with New, mount Handler()
+// on an http.Server, and call Close exactly once to drain and flush.
+type Service struct {
+	cfg Config
+	sh  *stream.Sharded
+	mux *http.ServeMux
+
+	// queue carries validated ingest batches to the ingest worker. qmu makes
+	// the closed check and the channel send atomic with respect to Close
+	// closing the channel (same pattern as stream.Sharded.Push); done wakes
+	// handlers blocked on a full queue so Close never waits on them.
+	queue chan [][]float64
+	done  chan struct{}
+	qmu   sync.RWMutex
+	wg    sync.WaitGroup
+
+	closed atomic.Bool
+	dim    atomic.Int64 // first-seen point dimensionality; 0 = none yet
+
+	// Counters, reported by /v1/stats and mirrored into expstats.
+	acceptedPoints  atomic.Int64 // points validated and queued
+	acceptedBatches atomic.Int64
+	pendingBatches  atomic.Int64 // queued but not yet pushed
+	ingestedPoints  atomic.Int64 // points handed to the sharded ingester
+	assignRequests  atomic.Int64
+	assignPoints    atomic.Int64
+	distEvals       atomic.Int64 // assignment distance evaluations
+	snapshotBuilds  atomic.Int64
+
+	// Snapshot cache: one entry, keyed by the sharded ingester's center
+	// version. Readers hit the atomic pointer lock-free; snapMu serializes
+	// rebuilds only, so a center change triggers exactly one merge, not a
+	// thundering herd.
+	snapMu sync.Mutex
+	snap   atomic.Pointer[querySnapshot]
+
+	started time.Time
+}
+
+// New starts a Service: the sharded ingester and the ingest worker that
+// drains the batch queue into it.
+func New(cfg Config) (*Service, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	sh, err := stream.NewSharded(stream.ShardedConfig{
+		K:      cfg.K,
+		Shards: cfg.Shards,
+		Buffer: cfg.Buffer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:     cfg,
+		sh:      sh,
+		queue:   make(chan [][]float64, cfg.QueueDepth),
+		done:    make(chan struct{}),
+		started: time.Now(),
+	}
+	s.routes()
+	s.wg.Add(1)
+	go s.ingestLoop()
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (the /v1 API).
+func (s *Service) Handler() http.Handler { return s.mux }
+
+// ingestLoop is the single ingest worker: it drains queued batches into the
+// sharded summarizer. One worker suffices — a Push is a copy plus a channel
+// send (~tens of ns); the shard goroutines do the clustering work.
+func (s *Service) ingestLoop() {
+	defer s.wg.Done()
+	for batch := range s.queue {
+		for _, p := range batch {
+			// Batches were validated at the handler, so Push cannot fail on
+			// dimensions; a failure here would mean Push-after-Finish, which
+			// the drain ordering in Close rules out.
+			if err := s.sh.Push(p); err == nil {
+				s.ingestedPoints.Add(1)
+				expstats.Add("ingested_points", 1)
+			}
+		}
+		s.pendingBatches.Add(-1)
+	}
+}
+
+// enqueue hands one validated batch to the ingest worker, blocking while the
+// bounded queue is full. It fails when the service is shutting down or when
+// ctx is done first (the backpressure path: the client sees the request time
+// out or its own cancellation).
+func (s *Service) enqueue(ctx context.Context, batch [][]float64) error {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.closed.Load() {
+		return errShuttingDown
+	}
+	// Count the batch pending before the send so the worker's decrement
+	// (which may run the instant the send lands) can never observe — or
+	// expose via /v1/stats — a negative gauge.
+	s.pendingBatches.Add(1)
+	select {
+	case s.queue <- batch:
+		return nil
+	case <-s.done:
+		s.pendingBatches.Add(-1)
+		return errShuttingDown
+	case <-ctx.Done():
+		s.pendingBatches.Add(-1)
+		return fmt.Errorf("ingest queue full: %w", ctx.Err())
+	}
+}
+
+var errShuttingDown = fmt.Errorf("service is shutting down")
+
+// Close drains and flushes the service: new batches are rejected, queued
+// batches are pushed into the shards, and the ingester's Finish merge runs,
+// returning the final clustering over everything ingested. The HTTP server
+// should be shut down first so no handler is still producing. If ctx expires
+// mid-drain, Close returns its error and the final merge is skipped.
+func (s *Service) Close(ctx context.Context) (*stream.Result, error) {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("server: Close called twice")
+	}
+	close(s.done) // wake handlers blocked on a full queue
+	s.qmu.Lock()  // every enqueue holds the read side; none in flight now
+	close(s.queue)
+	s.qmu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("server: drain aborted: %w", ctx.Err())
+	}
+	return s.sh.Finish()
+}
+
+// querySnapshot is one cached consistent view of the clustering: the merged
+// ≤ k centers plus the prepared nearest-center kernel. It is immutable and
+// safe for concurrent readers.
+type querySnapshot struct {
+	version uint64
+	res     *stream.Result
+	pruned  *metric.Pruned // nil below the pruning crossover
+}
+
+// nearest returns the position of the center nearest to p, its squared
+// distance and the number of distance evaluations spent — through the
+// pruned scan above the crossover, the plain one-to-many kernel below it.
+// Results are bit-identical either way.
+func (q *querySnapshot) nearest(p []float64) (int, float64, int64) {
+	if q.pruned != nil {
+		return q.pruned.Nearest(p)
+	}
+	c := q.res.Centers
+	i, sq := metric.NearestInRange(c, 0, c.N, p)
+	return i, sq, int64(c.N)
+}
+
+// snapshot returns the cached consistent view, rebuilding it only when some
+// shard's center set has changed since the cached one was taken. The
+// steady-state read is lock-free (one atomic load after the version read);
+// snapMu is taken only around a rebuild, with the version re-checked under
+// it so racing readers trigger one merge, not one each. The version is read
+// before the merge, so the cached snapshot is at least as fresh as its key
+// and a concurrent center change at worst forces one extra rebuild.
+func (s *Service) snapshot() (*querySnapshot, error) {
+	v := s.sh.CentersVersion()
+	if qs := s.snap.Load(); qs != nil && qs.version == v {
+		return qs, nil
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if qs := s.snap.Load(); qs != nil && qs.version == v {
+		return qs, nil
+	}
+	res, err := s.sh.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	qs := &querySnapshot{version: v, res: res}
+	if metric.PreferPruned(res.Centers.N, res.Centers.Dim) {
+		qs.pruned = metric.NewPruned(res.Centers)
+	}
+	s.snap.Store(qs)
+	s.snapshotBuilds.Add(1)
+	expstats.Add("snapshot_builds", 1)
+	return qs, nil
+}

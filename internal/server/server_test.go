@@ -1,0 +1,444 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"kcenter/internal/dataset"
+	"kcenter/internal/metric"
+)
+
+// newTestService builds a Service with small limits and registers cleanup.
+// Tests that Close themselves pass closeInTest = false.
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if !s.closed.Load() {
+			if _, err := s.Close(context.Background()); err != nil {
+				t.Errorf("cleanup Close: %v", err)
+			}
+		}
+	})
+	return s
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) *http.Response {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+	}
+	return resp
+}
+
+// ingestAll pushes points in batches and waits until the service reports
+// them all ingested (ingestion is asynchronous behind the queue).
+func ingestAll(t *testing.T, ts *httptest.Server, s *Service, pts [][]float64, batch int) {
+	t.Helper()
+	for lo := 0; lo < len(pts); lo += batch {
+		hi := lo + batch
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		resp, body := postJSON(t, ts, "/v1/ingest", ingestRequest{Points: pts[lo:hi]})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest status %d: %s", resp.StatusCode, body)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.ingestedPoints.Load() < int64(len(pts)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("ingested %d of %d points before timeout", s.ingestedPoints.Load(), len(pts))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func genPoints(n int, seed uint64) [][]float64 {
+	l := dataset.Gau(dataset.GauConfig{N: n, KPrime: 5, Seed: seed})
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = append([]float64(nil), l.Points.At(i)...)
+	}
+	return pts
+}
+
+func TestIngestAssignCentersStats(t *testing.T) {
+	s := newTestService(t, Config{K: 10, Shards: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	pts := genPoints(3000, 41)
+	ingestAll(t, ts, s, pts, 500)
+
+	// Centers: ≤ k rows of the ingested dimension, with certified bounds.
+	var cr centersResponse
+	if resp := getJSON(t, ts, "/v1/centers", &cr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("centers status %d", resp.StatusCode)
+	}
+	if len(cr.Centers) == 0 || len(cr.Centers) > 10 {
+		t.Fatalf("got %d centers, want 1..10", len(cr.Centers))
+	}
+	if cr.Snapshot.Ingested != 3000 {
+		t.Fatalf("snapshot ingested %d, want 3000", cr.Snapshot.Ingested)
+	}
+
+	// Assign: every query point's reported distance must equal the true
+	// distance to the reported center, and the center must be the nearest
+	// of the snapshot's centers.
+	queries := pts[:50]
+	resp, body := postJSON(t, ts, "/v1/assign", assignRequest{Points: queries})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("assign status %d: %s", resp.StatusCode, body)
+	}
+	var ar assignResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Assignments) != len(queries) {
+		t.Fatalf("%d assignments for %d queries", len(ar.Assignments), len(queries))
+	}
+	if ar.Snapshot.Version != cr.Snapshot.Version {
+		t.Fatalf("assign snapshot version %d != centers version %d (idle stream)",
+			ar.Snapshot.Version, cr.Snapshot.Version)
+	}
+	cds, err := metric.FromPoints(cr.Centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range ar.Assignments {
+		wantC, wantSq := metric.NearestInRange(cds, 0, cds.N, queries[i])
+		if a.Center != wantC {
+			t.Fatalf("query %d assigned to %d, want %d", i, a.Center, wantC)
+		}
+		if got, want := a.Distance, math.Sqrt(wantSq); math.Abs(got-want) > 1e-12*(1+want) {
+			t.Fatalf("query %d distance %v, want %v", i, got, want)
+		}
+		if a.Distance > ar.Snapshot.Radius {
+			t.Fatalf("ingested query %d at distance %v beyond the certified radius %v",
+				i, a.Distance, ar.Snapshot.Radius)
+		}
+	}
+
+	// Stats: counters and per-shard state.
+	var st statsResponse
+	if resp := getJSON(t, ts, "/v1/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	if st.K != 10 || st.Shards != 4 || st.Dim != 2 {
+		t.Fatalf("stats identity k=%d shards=%d dim=%d", st.K, st.Shards, st.Dim)
+	}
+	if st.IngestedPoints != 3000 || st.AcceptedPoints != 3000 {
+		t.Fatalf("stats points ingested=%d accepted=%d, want 3000", st.IngestedPoints, st.AcceptedPoints)
+	}
+	if st.AssignPoints != 50 || st.AssignRequests != 1 {
+		t.Fatalf("stats assign points=%d requests=%d, want 50/1", st.AssignPoints, st.AssignRequests)
+	}
+	if st.DistEvals <= 0 {
+		t.Fatal("stats dist_evals not counted")
+	}
+	if len(st.PerShard) != 4 {
+		t.Fatalf("per-shard stats for %d shards, want 4", len(st.PerShard))
+	}
+	// Shard counters are read live; a just-pushed point may still sit in a
+	// shard channel for an instant, so poll to the full sum.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var shardTotal int64
+		for _, sh := range st.PerShard {
+			shardTotal += sh.Ingested
+		}
+		if shardTotal == 3000 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard ingested sum %d, want 3000", shardTotal)
+		}
+		time.Sleep(time.Millisecond)
+		getJSON(t, ts, "/v1/stats", &st)
+	}
+}
+
+func TestSnapshotCacheReusedWhileCentersUnchanged(t *testing.T) {
+	s := newTestService(t, Config{K: 5, Shards: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ingestAll(t, ts, s, genPoints(2000, 42), 400)
+
+	var first assignResponse
+	resp, body := postJSON(t, ts, "/v1/assign", assignRequest{Points: [][]float64{{1, 2}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("assign status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	builds := s.snapshotBuilds.Load()
+	// With no ingestion in flight the centers cannot change: repeated
+	// queries must reuse the cached snapshot (same version, no rebuilds).
+	for i := 0; i < 5; i++ {
+		var again assignResponse
+		_, body := postJSON(t, ts, "/v1/assign", assignRequest{Points: [][]float64{{3, 4}}})
+		if err := json.Unmarshal(body, &again); err != nil {
+			t.Fatal(err)
+		}
+		if again.Snapshot.Version != first.Snapshot.Version {
+			t.Fatalf("idle snapshot version moved %d -> %d", first.Snapshot.Version, again.Snapshot.Version)
+		}
+	}
+	if got := s.snapshotBuilds.Load(); got != builds {
+		t.Fatalf("idle queries rebuilt the snapshot %d times", got-builds)
+	}
+}
+
+func TestMalformedAndInvalidRequests(t *testing.T) {
+	s := newTestService(t, Config{K: 3, MaxBatch: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) *http.Response {
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// Malformed JSON.
+	if resp := post("/v1/ingest", "{nope"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed ingest: status %d, want 400", resp.StatusCode)
+	}
+	// Empty batch.
+	if resp := post("/v1/ingest", `{"points": []}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+	// Empty point.
+	if resp := post("/v1/ingest", `{"points": [[]]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty point: status %d, want 400", resp.StatusCode)
+	}
+	// Non-finite coordinate (JSON has no NaN literal; big-number overflow
+	// arrives as +Inf via some encoders — send it malformed instead).
+	if resp := post("/v1/ingest", `{"points": [[1, 1e999]]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("overflowing coordinate: status %d, want 400", resp.StatusCode)
+	}
+	// Mixed dimensions inside one batch.
+	if resp := post("/v1/ingest", `{"points": [[1,2],[1,2,3]]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mixed dims: status %d, want 400", resp.StatusCode)
+	}
+	// Oversized batch (MaxBatch = 8).
+	big := ingestRequest{Points: make([][]float64, 9)}
+	for i := range big.Points {
+		big.Points[i] = []float64{float64(i), 0}
+	}
+	if resp, _ := postJSON(t, ts, "/v1/ingest", big); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: status %d, want 413", resp.StatusCode)
+	}
+	// Oversized body: rejected by the byte cap mid-decode, without
+	// materializing the points (MaxBatch=8 caps the body around 1 MiB).
+	huge := bytes.NewBufferString(`{"points": [[`)
+	for huge.Len() < 2<<20 {
+		huge.WriteString("1.0,")
+	}
+	huge.WriteString("1.0]]}")
+	if resp := post("/v1/ingest", huge.String()); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+
+	// Assign before any ingest: 409.
+	if resp := post("/v1/assign", `{"points": [[1,2]]}`); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("assign before ingest: status %d, want 409", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts, "/v1/centers", nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("centers before ingest: status %d, want 409", resp.StatusCode)
+	}
+	// Stats works on an empty service (no per-shard block yet).
+	var st statsResponse
+	if resp := getJSON(t, ts, "/v1/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty stats: status %d, want 200", resp.StatusCode)
+	}
+	if st.PerShard != nil {
+		t.Fatalf("empty stats has per-shard block: %+v", st.PerShard)
+	}
+
+	// Seed the dimension, then mismatch across requests.
+	if resp := post("/v1/ingest", `{"points": [[1,2]]}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("seed ingest: status %d", resp.StatusCode)
+	}
+	if resp := post("/v1/ingest", `{"points": [[1,2,3]]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cross-batch dim mismatch: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post("/v1/assign", `{"points": [[1,2,3]]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("assign dim mismatch: status %d, want 400", resp.StatusCode)
+	}
+
+	// Wrong methods.
+	if resp := getJSON(t, ts, "/v1/ingest", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET ingest: status %d, want 405", resp.StatusCode)
+	}
+	if resp := post("/v1/stats", "{}"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST stats: status %d, want 405", resp.StatusCode)
+	}
+	// Unknown route: 404 with the JSON error contract, not text/plain.
+	var e404 errorResponse
+	if resp := getJSON(t, ts, "/v1/nope", &e404); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown route: status %d, want 404", resp.StatusCode)
+	}
+	if e404.Error == "" {
+		t.Fatal("unknown route: error body not JSON")
+	}
+}
+
+func TestCloseDrainsAndFlushes(t *testing.T) {
+	s, err := New(Config{K: 5, Shards: 2, QueueDepth: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	pts := genPoints(1000, 43)
+	for lo := 0; lo < len(pts); lo += 100 {
+		resp, body := postJSON(t, ts, "/v1/ingest", ingestRequest{Points: pts[lo : lo+100]})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest status %d: %s", resp.StatusCode, body)
+		}
+	}
+	ts.Close() // handlers done; queued batches may still be draining
+
+	res, err := s.Close(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ingested != 1000 {
+		t.Fatalf("final result ingested %d, want all 1000 accepted points", res.Ingested)
+	}
+	if res.Centers.N == 0 || res.Centers.N > 5 {
+		t.Fatalf("final centers %d, want 1..5", res.Centers.N)
+	}
+
+	// Closed service rejects further batches and a second Close.
+	if err := s.enqueue(context.Background(), [][]float64{{1, 2}}); err == nil {
+		t.Fatal("enqueue after Close should fail")
+	}
+	if _, err := s.Close(context.Background()); err == nil {
+		t.Fatal("second Close should fail")
+	}
+}
+
+func TestIngestBackpressure(t *testing.T) {
+	// Tiny queue and a slow drain: saturate the queue, then check that an
+	// ingest with an already-cancelled context fails with 503 instead of
+	// blocking forever.
+	s := newTestService(t, Config{K: 2, QueueDepth: 1, Buffer: 1})
+	// Fill: the worker may be mid-batch, so push until a cancelled-context
+	// enqueue reports the queue full.
+	batch := make([][]float64, 64)
+	for i := range batch {
+		batch[i] = []float64{float64(i % 7), float64(i % 11)}
+	}
+	// One batch under a live context first, so the stream is non-empty no
+	// matter how quickly the backpressure path fires below.
+	if err := s.enqueue(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := s.enqueue(ctx, batch); err != nil {
+			if s.closed.Load() {
+				t.Fatal("service closed unexpectedly")
+			}
+			break // the backpressure path fired
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+	}
+}
+
+func TestServeHTTPConcurrentSmoke(t *testing.T) {
+	// Belt-and-braces sequential smoke for the full request matrix; the
+	// real concurrency checks live in race_test.go.
+	s := newTestService(t, Config{K: 8, Shards: 3})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ingestAll(t, ts, s, genPoints(500, 44), 125)
+	for i := 0; i < 3; i++ {
+		if resp := getJSON(t, ts, "/v1/centers", nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("centers %d", resp.StatusCode)
+		}
+		if resp := getJSON(t, ts, "/v1/stats", nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("stats %d", resp.StatusCode)
+		}
+		resp, _ := postJSON(t, ts, "/v1/assign", assignRequest{Points: [][]float64{{float64(i), 1}}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("assign %d", resp.StatusCode)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{K: 0}); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := New(Config{K: -3}); err == nil {
+		t.Fatal("negative k should fail")
+	}
+	s, err := New(Config{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.Shards != 1 || s.cfg.MaxBatch != 4096 || s.cfg.QueueDepth != 64 {
+		t.Fatalf("defaults not applied: %+v", s.cfg)
+	}
+	if _, err := s.Close(context.Background()); err == nil {
+		t.Fatal("Close on an empty service should propagate the empty-stream error")
+	}
+}
+
+func ExampleService() {
+	s, _ := New(Config{K: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body := bytes.NewBufferString(`{"points": [[0,0],[10,10]]}`)
+	resp, _ := http.Post(ts.URL+"/v1/ingest", "application/json", body)
+	fmt.Println(resp.StatusCode)
+	resp.Body.Close()
+	// Output: 202
+}

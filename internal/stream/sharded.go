@@ -4,6 +4,7 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,10 @@ import (
 	"kcenter/internal/core"
 	"kcenter/internal/metric"
 )
+
+// ErrEmpty reports a Snapshot or Finish on a stream that has ingested
+// nothing; callers distinguish it (errors.Is) from real failures.
+var ErrEmpty = errors.New("empty stream")
 
 // ShardedConfig parameterizes a Sharded ingester.
 type ShardedConfig struct {
@@ -124,6 +129,42 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 	return sh, nil
 }
 
+// CentersVersion returns the sum of the shard summaries' center-set version
+// counters, each read under that shard's read lock. The sum is monotone and
+// increases exactly when some shard's retained centers change, so a caller
+// holding a Snapshot taken at version v knows the clustering is unchanged
+// while CentersVersion still returns v — the invalidation key for the
+// serving layer's snapshot cache. Points still buffered in shard channels
+// are not reflected until their shard consumes them.
+func (s *Sharded) CentersVersion() uint64 {
+	var v uint64
+	for i := range s.summaries {
+		s.sumLocks[i].RLock()
+		v += s.summaries[i].Version()
+		s.sumLocks[i].RUnlock()
+	}
+	return v
+}
+
+// PerShardStats reads each shard's live counters (ingested count, retained
+// centers, doubling radius and level) under its read lock, without the
+// merge Snapshot performs — cheap enough for a stats endpoint to call on
+// every request. Points still buffered in shard channels are not counted.
+func (s *Sharded) PerShardStats() []ShardStats {
+	out := make([]ShardStats, len(s.summaries))
+	for i, sum := range s.summaries {
+		s.sumLocks[i].RLock()
+		out[i] = ShardStats{
+			Ingested: sum.N(),
+			Centers:  sum.Count(),
+			R:        sum.R(),
+			Merges:   sum.Merges(),
+		}
+		s.sumLocks[i].RUnlock()
+	}
+	return out
+}
+
 // Snapshot reads the current clustering without stopping ingestion: the
 // union of the shard center sets (each read under that shard's read lock),
 // reclustered to ≤ k centers with a Gonzalez pass when the union overflows
@@ -181,7 +222,7 @@ func (s *Sharded) mergeShards(locked bool, op string) (*Result, error) {
 		}
 	}
 	if union == nil {
-		return nil, fmt.Errorf("stream: %s empty stream", op)
+		return nil, fmt.Errorf("stream: %s %w", op, ErrEmpty)
 	}
 	res.UnionSize = union.N
 	if union.N <= s.cfg.K {

@@ -65,6 +65,11 @@ type Summary struct {
 	r      float64 // doubling radius; 0 during the fill phase
 	n      int64   // points ingested
 	merges int     // doubling rounds executed
+	// version counts center-set changes (appends and merge compactions).
+	// Most pushes are discards that leave the centers untouched, so a
+	// cached view of the clustering (e.g. the serving layer's snapshot)
+	// stays valid exactly while the version stands still.
+	version uint64
 }
 
 // NewSummary returns an empty Summary targeting at most k centers. It panics
@@ -91,6 +96,7 @@ func (s *Summary) ccDist(i, j int) float64 {
 // appendCenter retains p as a new center and extends the distance matrix
 // with its row/column against the existing centers.
 func (s *Summary) appendCenter(p []float64) {
+	s.version++
 	s.centers.Append(p)
 	n := s.centers.N
 	stride := s.k + 1
@@ -250,6 +256,7 @@ func (s *Summary) mergeDown() {
 		if len(keep) == s.centers.N {
 			continue
 		}
+		s.version++
 		s.centers = s.centers.Subset(keep)
 		// Compact the matrix in place. keep is ascending with keep[a] >= a,
 		// so every read position is at or after its write position and the
@@ -300,6 +307,12 @@ func (s *Summary) LowerBound() float64 { return s.r / 2 }
 // Merges returns how many doubling rounds have run, a diagnostic for tests
 // and the harness.
 func (s *Summary) Merges() int { return s.merges }
+
+// Version returns a counter that increases exactly when the retained center
+// set changes (a point is appended as a center, or a doubling round compacts
+// the set). Discarded pushes leave it unchanged, so an unchanged Version
+// certifies that a previously read center set is still current.
+func (s *Summary) Version() uint64 { return s.version }
 
 // Dim returns the point dimensionality (0 before the first Push).
 func (s *Summary) Dim() int {

@@ -1,0 +1,79 @@
+package stream
+
+import (
+	"testing"
+
+	"kcenter/internal/dataset"
+)
+
+// TestSummaryVersionTracksCenterChanges pins the Version contract: pushes
+// that are discarded (covered points, exact duplicates) leave the version
+// unchanged, while center appends and doubling rounds advance it.
+func TestSummaryVersionTracksCenterChanges(t *testing.T) {
+	s := NewSummary(2, Options{})
+	if s.Version() != 0 {
+		t.Fatalf("fresh summary version = %d, want 0", s.Version())
+	}
+
+	s.Push([]float64{0, 0})
+	v1 := s.Version()
+	if v1 == 0 {
+		t.Fatal("first center did not advance the version")
+	}
+
+	// Exact duplicate: discarded in the fill phase, version must not move.
+	s.Push([]float64{0, 0})
+	if s.Version() != v1 {
+		t.Fatalf("duplicate push advanced version %d -> %d", v1, s.Version())
+	}
+
+	s.Push([]float64{10, 0})
+	v2 := s.Version()
+	if v2 <= v1 {
+		t.Fatalf("second center did not advance the version (%d -> %d)", v1, v2)
+	}
+
+	// Third distinct point overflows k=2: append + doubling round.
+	s.Push([]float64{0, 10})
+	v3 := s.Version()
+	if v3 <= v2 {
+		t.Fatalf("overflow did not advance the version (%d -> %d)", v2, v3)
+	}
+
+	// Steady state: a point covered within 4r is discarded.
+	cov := append([]float64(nil), s.Centers().At(0)...)
+	s.Push(cov)
+	if s.Version() != v3 {
+		t.Fatalf("covered push advanced version %d -> %d", v3, s.Version())
+	}
+}
+
+// TestShardedCentersVersionStableAcrossSnapshots checks that the aggregate
+// version is monotone under ingestion and stands still once the stream is
+// idle, so equal versions certify an unchanged clustering.
+func TestShardedCentersVersionStableAcrossSnapshots(t *testing.T) {
+	sh, err := NewSharded(ShardedConfig{K: 5, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := dataset.Gau(dataset.GauConfig{N: 2000, KPrime: 5, Seed: 7})
+	for i := 0; i < l.Points.N; i++ {
+		if err := sh.Push(l.Points.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sh.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ingested != 2000 {
+		t.Fatalf("ingested %d, want 2000", res.Ingested)
+	}
+	v1 := sh.CentersVersion()
+	if v1 == 0 {
+		t.Fatal("version still 0 after ingesting 2000 points")
+	}
+	if v2 := sh.CentersVersion(); v2 != v1 {
+		t.Fatalf("idle stream version moved %d -> %d", v1, v2)
+	}
+}

@@ -18,6 +18,11 @@
 //   - Stream: insertion-only streaming k-center via the doubling algorithm,
 //     with optional sharded concurrent ingestion. Memory is O(s·k),
 //     independent of the stream length — points are never materialized.
+//   - Server: an HTTP/JSON serving layer over the same streaming substrate.
+//     POST /v1/ingest feeds batches in (bounded-queue backpressure), POST
+//     /v1/assign answers batch nearest-center queries against consistent
+//     snapshots, GET /v1/centers and /v1/stats expose the clustering and
+//     service counters. See NewServer and the kcenter serve subcommand.
 //
 // Parallel algorithms run on a simulated MapReduce cluster (m machines,
 // default 50 as in the paper); reported runtimes follow the paper's cost
@@ -53,8 +58,10 @@
 package kcenter
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net/http"
 
 	"kcenter/internal/assign"
 	"kcenter/internal/core"
@@ -63,6 +70,7 @@ import (
 	"kcenter/internal/mapreduce"
 	"kcenter/internal/metric"
 	"kcenter/internal/mrg"
+	"kcenter/internal/server"
 	"kcenter/internal/stream"
 )
 
@@ -329,12 +337,18 @@ func (s *Stream) Finish() (*StreamResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newStreamResult(res, s.shards), nil
+}
+
+// newStreamResult converts an internal merged stream result to the facade
+// type, copying the center coordinates out of internal storage.
+func newStreamResult(res *stream.Result, shards int) *StreamResult {
 	centers := make([][]float64, res.Centers.N)
 	for i := range centers {
 		centers[i] = append([]float64(nil), res.Centers.At(i)...)
 	}
 	factor := 8.0
-	if s.shards > 1 {
+	if shards > 1 {
 		factor = 10
 	}
 	return &StreamResult{
@@ -343,7 +357,81 @@ func (s *Stream) Finish() (*StreamResult, error) {
 		LowerBound:   res.LowerBound,
 		ApproxFactor: factor,
 		Ingested:     res.Ingested,
-	}, nil
+	}
+}
+
+// ErrNothingIngested reports a Shutdown (or Finish) with no ingested data:
+// there is no clustering to return, but nothing failed either. Detect it
+// with errors.Is to distinguish an idle server from a real drain failure.
+var ErrNothingIngested = stream.ErrEmpty
+
+// ServerOptions configures a clustering server.
+type ServerOptions struct {
+	// Shards is the number of concurrent ingestion shards; 0 means 1.
+	Shards int
+	// Buffer is the per-shard channel depth; 0 means the default.
+	Buffer int
+	// MaxBatch caps the points per ingest or assign request (0 = 4096);
+	// larger batches are rejected with HTTP 413.
+	MaxBatch int
+	// QueueDepth bounds the ingest queue in batches (0 = 64). A full queue
+	// blocks ingest handlers until space frees or the request times out —
+	// the service's backpressure signal.
+	QueueDepth int
+}
+
+// Server is an HTTP/JSON clustering service over a live stream: POST
+// /v1/ingest feeds batches into a sharded streaming ingester, POST
+// /v1/assign answers batch nearest-center queries against a consistent
+// snapshot of the current clustering, GET /v1/centers and GET /v1/stats
+// expose the centers and service counters. Create with NewServer, mount
+// Handler on an http.Server, and call Shutdown exactly once to drain
+// in-flight batches and flush the final clustering.
+type Server struct {
+	svc    *server.Service
+	shards int
+}
+
+// NewServer starts the clustering service for at most k centers. It begins
+// serving traffic as soon as its Handler is mounted; the clustering runs on
+// the same streaming substrate as NewStream (8-approx single shard,
+// 10-approx sharded).
+func NewServer(k int, opt ServerOptions) (*Server, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("kcenter: k must be >= 1, got %d", k)
+	}
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	svc, err := server.New(server.Config{
+		K:          k,
+		Shards:     shards,
+		Buffer:     opt.Buffer,
+		MaxBatch:   opt.MaxBatch,
+		QueueDepth: opt.QueueDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{svc: svc, shards: shards}, nil
+}
+
+// Handler returns the service's HTTP handler (the /v1 API), ready to mount
+// on any http.Server or mux.
+func (s *Server) Handler() http.Handler { return s.svc.Handler() }
+
+// Shutdown gracefully stops the service: new batches are rejected, queued
+// batches are drained into the clustering, and the final merged result is
+// returned — the same certified solution Finish returns for a Stream. Shut
+// the HTTP server down first so no request is still in flight. Call it
+// exactly once; ctx bounds the drain.
+func (s *Server) Shutdown(ctx context.Context) (*StreamResult, error) {
+	res, err := s.svc.Close(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return newStreamResult(res, s.shards), nil
 }
 
 // RadiusPoints evaluates the covering radius of explicit coordinate centers

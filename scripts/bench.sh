@@ -1,7 +1,7 @@
 #!/bin/sh
-# Benchmark-trajectory gate: runs the kernel, assignment, Gonzalez and
-# streaming benchmarks and emits BENCH_kernels.json with ns/op per
-# benchmark, so every PR leaves a comparable perf record.
+# Benchmark-trajectory gate: runs the kernel, assignment, Gonzalez,
+# streaming and serving benchmarks and emits BENCH_kernels.json with ns/op
+# per benchmark, so every PR leaves a comparable perf record.
 #
 #   BENCHTIME=1x  (default) one iteration per benchmark: a compile +
 #                 smoke pass, cheap enough for the tier-1 gate. The ns/op
@@ -14,7 +14,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_kernels.json}"
-PATTERN='^(BenchmarkKernel|BenchmarkEvaluate|BenchmarkGonzalez|BenchmarkStreamPush|BenchmarkShardedThroughput)'
+PATTERN='^(BenchmarkKernel|BenchmarkEvaluate|BenchmarkGonzalez|BenchmarkStreamPush|BenchmarkShardedThroughput|BenchmarkServe)'
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -22,7 +22,7 @@ trap 'rm -f "$tmp"' EXIT
 # No pipe here: POSIX sh has no pipefail, and piping through tee would let
 # a failing `go test` (bench panic, broken TestMain) slip past set -e.
 go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -count 1 \
-	./internal/metric/ ./internal/assign/ ./internal/core/ . > "$tmp"
+	./internal/metric/ ./internal/assign/ ./internal/core/ ./internal/server/ . > "$tmp"
 cat "$tmp"
 
 awk -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" '

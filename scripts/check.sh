@@ -1,7 +1,7 @@
 #!/bin/sh
 # Canonical tier-1 gate, mirroring `make check` for environments without
 # make. Runs vet, build, the full test suite, and the race-detector pass
-# over the concurrent streaming ingestion path.
+# over the concurrent streaming ingestion path and the serving layer.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,8 +15,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race -short ./internal/stream/..."
-go test -race -short ./internal/stream/...
+echo "== go test -race -short ./internal/stream/... ./internal/server/..."
+go test -race -short ./internal/stream/... ./internal/server/...
 
 # One iteration of every tracked benchmark: proves the suite compiles and
 # runs and that the JSON emitter works, without clobbering the committed

@@ -1,0 +1,91 @@
+package kcenter
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestServerFacadeLifecycle exercises NewServer through a full ingest →
+// assign → Shutdown cycle over real HTTP, checking the final result carries
+// the same certified-bound semantics as Stream.Finish.
+func TestServerFacadeLifecycle(t *testing.T) {
+	srv, err := NewServer(3, ServerOptions{Shards: 2, MaxBatch: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	points := [][]float64{{0, 0}, {1, 0}, {0, 1}, {50, 50}, {51, 50}, {100, 0}}
+	b, _ := json.Marshal(map[string][][]float64{"points": points})
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+
+	// Poll assignment until ingestion drains.
+	q, _ := json.Marshal(map[string][][]float64{"points": {{0.2, 0.2}}})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Post(ts.URL+"/v1/assign", "application/json", bytes.NewReader(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("assign never succeeded (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	ts.Close()
+	res, err := srv.Shutdown(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ingested != int64(len(points)) {
+		t.Fatalf("ingested %d, want %d", res.Ingested, len(points))
+	}
+	if len(res.Centers) == 0 || len(res.Centers) > 3 {
+		t.Fatalf("%d centers, want 1..3", len(res.Centers))
+	}
+	if res.ApproxFactor != 10 {
+		t.Fatalf("approx factor %g, want 10 for sharded ingestion", res.ApproxFactor)
+	}
+	if res.LowerBound > res.Radius {
+		t.Fatalf("certificate inverted: lower %g > radius %g", res.LowerBound, res.Radius)
+	}
+	// The returned centers must cover the ingested points within Radius.
+	ds, err := NewDataset(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	realized, err := RadiusPoints(ds, res.Centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if realized > res.Radius+1e-12 {
+		t.Fatalf("realized radius %g beyond certified bound %g", realized, res.Radius)
+	}
+
+	if _, err := srv.Shutdown(context.Background()); err == nil {
+		t.Fatal("second Shutdown should fail")
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(0, ServerOptions{}); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+}
