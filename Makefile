@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke bench-all
+.PHONY: check vet build test race bench bench-smoke bench-all docs
 
-check: vet build test race bench-smoke
+check: vet build test race bench-smoke docs
 
 vet:
 	$(GO) vet ./...
@@ -35,3 +35,8 @@ bench:
 # The full paper-artifact suite (figures/tables/ablations), one iteration.
 bench-all:
 	$(GO) test -run XXX -bench . -benchtime 1x .
+
+# Docs gate: gofmt, one package comment per package, README/ARCHITECTURE
+# link and make-target integrity (see scripts/docscheck.sh).
+docs:
+	sh scripts/docscheck.sh

@@ -17,12 +17,17 @@
 //	kcenter stream -dataset gau -n 1000000 -k 25
 //
 // The serve subcommand runs the HTTP/JSON clustering service: live batched
-// ingestion (POST /v1/ingest), batch nearest-center assignment against
-// consistent snapshots (POST /v1/assign), and introspection (GET
-// /v1/centers, GET /v1/stats). SIGINT/SIGTERM shut it down gracefully,
-// draining queued batches and printing the final certified clustering:
+// ingestion (POST /v1/ingest, shedding with 429 + Retry-After when the
+// bounded queue stays full past -shed-after), batch nearest-center
+// assignment against consistent snapshots (POST /v1/assign), and
+// introspection (GET /v1/centers, GET /v1/stats). With -checkpoint the
+// server persists its clustering state and resumes it warm on the next
+// boot, logging a resume summary. SIGINT/SIGTERM shut it down gracefully,
+// draining queued batches, writing the final checkpoint and printing the
+// final certified clustering:
 //
 //	kcenter serve -addr :8080 -k 25 -shards 8
+//	kcenter serve -addr :8080 -k 25 -checkpoint /var/lib/kcenter/serve.ckpt
 //	kcenter serve -addr 127.0.0.1:0 -k 10 -max-batch 1024 -read-timeout 5s
 //
 // Exit status is non-zero on any configuration or runtime error.
@@ -162,21 +167,32 @@ func runServe(args []string, out io.Writer, stop <-chan os.Signal) error {
 		buffer       = fs.Int("buffer", 0, "per-shard channel depth (0 = default)")
 		maxBatch     = fs.Int("max-batch", 0, "max points per request (0 = 4096)")
 		queueDepth   = fs.Int("queue", 0, "ingest queue depth in batches (0 = 64)")
+		shedAfter    = fs.Duration("shed-after", 0, "patience at a full ingest queue before shedding with 429 (0 = 1s, negative = block)")
+		ckptPath     = fs.String("checkpoint", "", "checkpoint file: restore on boot, persist periodically and on shutdown")
+		ckptInterval = fs.Duration("checkpoint-interval", 0, "background checkpoint period (0 = 15s; writes only on center changes)")
 		readTimeout  = fs.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
-		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "HTTP write timeout (bounds ingest backpressure blocking)")
+		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "HTTP write timeout (bounds ingest queue waits)")
 		drainTimeout = fs.Duration("drain-timeout", time.Minute, "shutdown budget for draining queued batches")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	srv, err := kcenter.NewServer(*k, kcenter.ServerOptions{
-		Shards:     *shards,
-		Buffer:     *buffer,
-		MaxBatch:   *maxBatch,
-		QueueDepth: *queueDepth,
+		Shards:             *shards,
+		Buffer:             *buffer,
+		MaxBatch:           *maxBatch,
+		QueueDepth:         *queueDepth,
+		ShedAfter:          *shedAfter,
+		CheckpointPath:     *ckptPath,
+		CheckpointInterval: *ckptInterval,
 	})
 	if err != nil {
 		return err
+	}
+	if rs := srv.Restored(); rs != nil {
+		fmt.Fprintf(out, "resumed from checkpoint %s: centers=%d ingested=%d dim=%d version=%d age=%v\n",
+			rs.Path, rs.Centers, rs.Ingested, rs.Dim, rs.CentersVersion,
+			time.Since(rs.Created).Round(time.Second))
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -207,7 +223,7 @@ func runServe(args []string, out io.Writer, stop <-chan os.Signal) error {
 		fmt.Fprintln(out, "final clustering: none (nothing ingested)")
 		return nil
 	}
-	if err != nil {
+	if err != nil && res == nil {
 		// A real drain failure (e.g. the timeout expired with batches still
 		// queued) must not masquerade as an empty server: queued data was
 		// lost, so report it and exit non-zero.
@@ -215,7 +231,10 @@ func runServe(args []string, out io.Writer, stop <-chan os.Signal) error {
 	}
 	fmt.Fprintf(out, "FINAL   bound=%.6g   lower-bound=%.6g   centers=%d   ingested=%d   (%g-approximation)\n",
 		res.Radius, res.LowerBound, len(res.Centers), res.Ingested, res.ApproxFactor)
-	return nil
+	// A non-nil res with a non-nil error means the clustering drained fine
+	// but the final checkpoint write failed: report it and exit non-zero so
+	// operators notice the stale checkpoint.
+	return err
 }
 
 // runStream implements the stream subcommand: incremental ingestion into a

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
@@ -147,6 +148,121 @@ func TestRunServeErrors(t *testing.T) {
 	if err := run([]string{"serve", "-addr", "256.256.256.256:1"}, out, nil); err == nil {
 		t.Fatal("unlistenable address should fail")
 	}
+}
+
+// TestRunServeCheckpointResume: a serve process with -checkpoint is stopped
+// and restarted; the second process must announce the resume and serve the
+// identical center set at the identical snapshot version before any new
+// ingest.
+func TestRunServeCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "serve.ckpt")
+	serveArgs := []string{"serve", "-addr", "127.0.0.1:0", "-k", "4", "-shards", "2",
+		"-checkpoint", ckpt, "-checkpoint-interval", "10ms"}
+
+	startServe := func() (*syncBuffer, chan os.Signal, chan error, string) {
+		t.Helper()
+		out := &syncBuffer{}
+		stop := make(chan os.Signal, 1)
+		errc := make(chan error, 1)
+		go func() { errc <- run(serveArgs, out, stop) }()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if m := serveURLRe.FindStringSubmatch(out.String()); m != nil {
+				return out, stop, errc, m[1]
+			}
+			select {
+			case err := <-errc:
+				t.Fatalf("serve exited early: %v\noutput:\n%s", err, out.String())
+			default:
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("no listen line before timeout; output:\n%s", out.String())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	getBody := func(url, path string) string {
+		t.Helper()
+		resp, err := http.Get(url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		if _, err := b.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d body %s", path, resp.StatusCode, b.String())
+		}
+		return b.String()
+	}
+	stopServe := func(stop chan os.Signal, errc chan error, out *syncBuffer) {
+		t.Helper()
+		stop <- os.Interrupt
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("serve returned %v\noutput:\n%s", err, out.String())
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("serve did not shut down; output:\n%s", out.String())
+		}
+	}
+
+	out1, stop1, errc1, url1 := startServe()
+	body := `{"points": [[0,0],[1,0],[10,10],[11,10],[0,1],[10,11],[50,50],[51,50]]}`
+	resp, err := http.Post(url1+"/v1/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest: status %d", resp.StatusCode)
+	}
+	// Wait until every point has been consumed by a shard (not merely
+	// queued), so the served centers and the shutdown checkpoint are built
+	// from the identical state.
+	deadline := time.Now().Add(10 * time.Second)
+	var centers1 string
+	for {
+		s := getBody(url1, "/v1/stats")
+		var st struct {
+			PerShard []struct {
+				Ingested int64 `json:"ingested"`
+			} `json:"per_shard"`
+		}
+		if err := json.Unmarshal([]byte(s), &st); err != nil {
+			t.Fatalf("stats %q: %v", s, err)
+		}
+		var consumed int64
+		for _, sh := range st.PerShard {
+			consumed += sh.Ingested
+		}
+		if consumed == 8 {
+			centers1 = getBody(url1, "/v1/centers")
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("points never ingested; stats: %s", s)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stopServe(stop1, errc1, out1)
+	if !strings.Contains(out1.String(), "FINAL") {
+		t.Fatalf("first run missing final summary:\n%s", out1.String())
+	}
+
+	out2, stop2, errc2, url2 := startServe()
+	if !strings.Contains(out2.String(), "resumed from checkpoint") ||
+		!strings.Contains(out2.String(), "ingested=8") {
+		t.Fatalf("second run missing resume summary:\n%s", out2.String())
+	}
+	centers2 := getBody(url2, "/v1/centers")
+	if centers2 != centers1 {
+		t.Fatalf("resumed centers differ:\n%s\nvs\n%s", centers2, centers1)
+	}
+	stopServe(stop2, errc2, out2)
 }
 
 // TestRunServeEmptyShutdown: stopping a server that never ingested anything

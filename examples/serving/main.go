@@ -2,8 +2,9 @@
 // a real client fleet would — batched ingestion of a live feed over POST
 // /v1/ingest, nearest-center queries against consistent snapshots over POST
 // /v1/assign, introspection via GET /v1/centers and /v1/stats — then shut
-// it down gracefully and compare the drained final clustering against the
-// batch baseline that got to see all points at once.
+// it down gracefully, restart it from its checkpoint, and confirm the new
+// process resumes with the identical clustering before comparing against
+// the batch baseline that got to see all points at once.
 //
 //	go run ./examples/serving
 package main
@@ -16,6 +17,8 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"time"
 
 	"kcenter"
@@ -50,9 +53,17 @@ type pointsBody struct {
 }
 
 func main() {
-	// The service: k centers, 4 ingestion shards, mounted on a loopback
-	// listener exactly as `kcenter serve` would mount it.
-	srv, err := kcenter.NewServer(k, kcenter.ServerOptions{Shards: 4})
+	// The service: k centers, 4 ingestion shards, checkpointing enabled —
+	// mounted on a loopback listener exactly as `kcenter serve -checkpoint`
+	// would mount it. The checkpoint file is what the restart walkthrough
+	// below resumes from.
+	dir, err := os.MkdirTemp("", "kcenter-serving-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ckpt := filepath.Join(dir, "serve.ckpt")
+	srv, err := kcenter.NewServer(k, kcenter.ServerOptions{Shards: 4, CheckpointPath: ckpt})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -139,7 +150,8 @@ func main() {
 		stats.IngestedPoints, stats.AssignPoints, stats.DistEvals, stats.SnapshotBuilds)
 
 	// Graceful shutdown: HTTP server first (no requests in flight), then
-	// the service — draining queued batches and flushing the final merge.
+	// the service — draining queued batches, flushing the final merge and
+	// writing the final checkpoint.
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
@@ -151,6 +163,46 @@ func main() {
 	}
 	fmt.Printf("final: %d centers over %d points, certified %.4f <= OPT <= %.4f (%g-approx)\n",
 		len(final.Centers), final.Ingested, final.LowerBound, final.Radius, final.ApproxFactor)
+
+	// Restart walkthrough: a new process (here, a new server value) pointed
+	// at the same checkpoint resumes the clustering instead of starting
+	// empty — same ingested count, same snapshot version, and queries work
+	// immediately with no re-ingestion. This is what `kcenter serve
+	// -checkpoint` does on boot after a crash or a deploy.
+	srv2, err := kcenter.NewServer(k, kcenter.ServerOptions{Shards: 4, CheckpointPath: ckpt})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs := srv2.Restored()
+	if rs == nil {
+		log.Fatal("restart: no checkpoint was restored")
+	}
+	fmt.Printf("restart: resumed %d centers over %d points (version %d, checkpoint age %v)\n",
+		rs.Centers, rs.Ingested, rs.CentersVersion, time.Since(rs.Created).Round(time.Millisecond))
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs2 := &http.Server{Handler: srv2.Handler()}
+	go hs2.Serve(ln2)
+	base2 := "http://" + ln2.Addr().String()
+	var resumed struct {
+		Snapshot struct {
+			Version  uint64 `json:"version"`
+			Ingested int64  `json:"ingested"`
+		} `json:"snapshot"`
+	}
+	if code, err := postJSON(base2+"/v1/assign", queries, &resumed); err != nil || code != http.StatusOK {
+		log.Fatalf("restart assign: code %d err %v (no warm-up loop needed: the restored server is never cold)", code, err)
+	}
+	fmt.Printf("restart: first assign answered from snapshot v%d over %d points, zero re-ingestion\n",
+		resumed.Snapshot.Version, resumed.Snapshot.Ingested)
+	if err := hs2.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := srv2.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
 
 	// Batch comparison, as in examples/streaming: the serving layer never
 	// materialized the feed; the baseline gets to.

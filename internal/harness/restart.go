@@ -1,0 +1,322 @@
+// Restart experiment: measure what checkpoint/restore persistence buys a
+// serving deployment. A server is loaded over HTTP, checkpointed and
+// "killed"; recovery is then timed twice — warm (restore the O(shards·k)
+// checkpoint and serve immediately) and cold (replay the whole feed into a
+// fresh server) — and the experiment verifies the warm start resumes with
+// exactly the center set, bounds and version counters that were
+// checkpointed.
+
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"kcenter/internal/metric"
+	"kcenter/internal/server"
+)
+
+// RestartSpec describes one kill-and-recover run.
+type RestartSpec struct {
+	// K is the number of centers.
+	K int
+	// Shards is the ingestion shard count; 0 means 1.
+	Shards int
+	// Batch is the points per ingest request; 0 means 512.
+	Batch int
+}
+
+// RestartMeasurement is the outcome of one kill-and-recover run.
+type RestartMeasurement struct {
+	// WarmMs is the time from starting a checkpoint-restoring server to its
+	// first successful assign: restore cost, independent of stream length.
+	WarmMs float64
+	// ColdMs is the time from starting an empty server to having replayed
+	// the entire feed and served an assign over it: recovery without
+	// persistence, linear in the stream.
+	ColdMs float64
+	// CheckpointBytes is the on-disk checkpoint size (O(shards·k), not O(n)).
+	CheckpointBytes int64
+	// Ingested is the number of points the killed server had clustered.
+	Ingested int64
+	// StateMatches reports whether the warm start resumed with the identical
+	// snapshot: same center coordinates, certified radius and center-set
+	// version the killed server checkpointed.
+	StateMatches bool
+}
+
+// restartClient bundles the few HTTP calls the experiment makes.
+type restartClient struct {
+	base string
+	c    *http.Client
+}
+
+type restartCenters struct {
+	Snapshot struct {
+		Version    uint64  `json:"version"`
+		Radius     float64 `json:"radius"`
+		LowerBound float64 `json:"lower_bound"`
+		Ingested   int64   `json:"ingested"`
+	} `json:"snapshot"`
+	Centers [][]float64 `json:"centers"`
+}
+
+func (rc *restartClient) post(path string, pts [][]float64) (int, error) {
+	body, err := json.Marshal(struct {
+		Points [][]float64 `json:"points"`
+	}{pts})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := rc.c.Post(rc.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func (rc *restartClient) get(path string, out any) error {
+	resp, err := rc.c.Get(rc.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// ingest replays ds into the service in batches and waits until every point
+// has been consumed by a shard (so a checkpoint or a "recovered" verdict
+// covers the full feed).
+func (rc *restartClient) ingest(ds *metric.Dataset, batch int, alreadyIngested int64) error {
+	for lo := 0; lo < ds.N; lo += batch {
+		hi := lo + batch
+		if hi > ds.N {
+			hi = ds.N
+		}
+		pts := make([][]float64, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			pts = append(pts, ds.At(i))
+		}
+		for {
+			code, err := rc.post("/v1/ingest", pts)
+			if err != nil {
+				return err
+			}
+			if code == http.StatusAccepted {
+				break
+			}
+			if code == http.StatusTooManyRequests {
+				time.Sleep(time.Millisecond) // shed: the feed replays as fast as the server admits
+				continue
+			}
+			return fmt.Errorf("ingest: status %d", code)
+		}
+	}
+	want := alreadyIngested + int64(ds.N)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st struct {
+			PerShard []struct {
+				Ingested int64 `json:"ingested"`
+			} `json:"per_shard"`
+		}
+		if err := rc.get("/v1/stats", &st); err != nil {
+			return err
+		}
+		var got int64
+		for _, sh := range st.PerShard {
+			got += sh.Ingested
+		}
+		if got == want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("drain: %d of %d points consumed", got, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// firstAssign polls one assign request until the service answers 200 and
+// returns the snapshot it answered from.
+func (rc *restartClient) firstAssign(q []float64) (restartCenters, error) {
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code, err := rc.post("/v1/assign", [][]float64{q})
+		if err != nil {
+			return restartCenters{}, err
+		}
+		if code == http.StatusOK {
+			var c restartCenters
+			err := rc.get("/v1/centers", &c)
+			return c, err
+		}
+		if code != http.StatusConflict {
+			return restartCenters{}, fmt.Errorf("assign: status %d", code)
+		}
+		if time.Now().After(deadline) {
+			return restartCenters{}, fmt.Errorf("assign never left the cold 409 window")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// RunRestart loads a checkpointing server with ds over loopback HTTP, kills
+// it after a checkpoint, and measures warm (restore) versus cold (replay)
+// recovery to a serving state.
+func RunRestart(ds *metric.Dataset, spec RestartSpec) (RestartMeasurement, error) {
+	shards := spec.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	batch := spec.Batch
+	if batch <= 0 {
+		batch = 512
+	}
+	dir, err := os.MkdirTemp("", "kcenter-restart-")
+	if err != nil {
+		return RestartMeasurement{}, err
+	}
+	defer os.RemoveAll(dir)
+	ckpt := filepath.Join(dir, "serve.ckpt")
+
+	// Phase 1: the to-be-killed server. The long interval keeps the
+	// background loop out of the measurement; the experiment checkpoints
+	// explicitly at the kill point.
+	cfg := server.Config{K: spec.K, Shards: shards, MaxBatch: batch,
+		CheckpointPath: ckpt, CheckpointInterval: time.Hour}
+	svc1, err := server.New(cfg)
+	if err != nil {
+		return RestartMeasurement{}, err
+	}
+	ts1 := httptest.NewServer(svc1.Handler())
+	rc1 := &restartClient{base: ts1.URL, c: ts1.Client()}
+	if err := rc1.ingest(ds, batch, 0); err != nil {
+		ts1.Close()
+		return RestartMeasurement{}, err
+	}
+	if err := svc1.CheckpointNow(); err != nil {
+		ts1.Close()
+		return RestartMeasurement{}, err
+	}
+	killed, err := rc1.firstAssign(ds.At(0))
+	if err != nil {
+		ts1.Close()
+		return RestartMeasurement{}, err
+	}
+	ts1.Close()
+	// The graceful Close here only reclaims goroutines; recovery below uses
+	// exactly the state frozen at CheckpointNow, as a kill would leave it.
+	killedCkpt, err := os.ReadFile(ckpt)
+	if err != nil {
+		return RestartMeasurement{}, err
+	}
+	if _, err := svc1.Close(context.Background()); err != nil {
+		return RestartMeasurement{}, err
+	}
+	if err := os.WriteFile(ckpt, killedCkpt, 0o644); err != nil {
+		return RestartMeasurement{}, err
+	}
+
+	m := RestartMeasurement{
+		Ingested:        killed.Snapshot.Ingested,
+		CheckpointBytes: int64(len(killedCkpt)),
+	}
+
+	// Phase 2: warm recovery — restore the checkpoint, serve.
+	warmStart := time.Now()
+	svc2, err := server.New(cfg)
+	if err != nil {
+		return RestartMeasurement{}, err
+	}
+	ts2 := httptest.NewServer(svc2.Handler())
+	rc2 := &restartClient{base: ts2.URL, c: ts2.Client()}
+	resumed, err := rc2.firstAssign(ds.At(0))
+	if err != nil {
+		ts2.Close()
+		return RestartMeasurement{}, err
+	}
+	m.WarmMs = float64(time.Since(warmStart).Microseconds()) / 1e3
+	rs := svc2.Restored()
+	m.StateMatches = rs != nil && rs.CentersVersion == killed.Snapshot.Version &&
+		resumed.Snapshot == killed.Snapshot && len(resumed.Centers) == len(killed.Centers)
+	if m.StateMatches {
+	outer:
+		for i := range killed.Centers {
+			for d := range killed.Centers[i] {
+				if resumed.Centers[i][d] != killed.Centers[i][d] {
+					m.StateMatches = false
+					break outer
+				}
+			}
+		}
+	}
+	ts2.Close()
+	if _, err := svc2.Close(context.Background()); err != nil {
+		return RestartMeasurement{}, err
+	}
+
+	// Phase 3: cold recovery — no checkpoint, replay the feed.
+	coldStart := time.Now()
+	svc3, err := server.New(server.Config{K: spec.K, Shards: shards, MaxBatch: batch})
+	if err != nil {
+		return RestartMeasurement{}, err
+	}
+	ts3 := httptest.NewServer(svc3.Handler())
+	rc3 := &restartClient{base: ts3.URL, c: ts3.Client()}
+	if err := rc3.ingest(ds, batch, 0); err != nil {
+		ts3.Close()
+		return RestartMeasurement{}, err
+	}
+	if _, err := rc3.firstAssign(ds.At(0)); err != nil {
+		ts3.Close()
+		return RestartMeasurement{}, err
+	}
+	m.ColdMs = float64(time.Since(coldStart).Microseconds()) / 1e3
+	ts3.Close()
+	if _, err := svc3.Close(context.Background()); err != nil {
+		return RestartMeasurement{}, err
+	}
+	return m, nil
+}
+
+func init() {
+	registry = append(registry, Experiment{
+		ID:    "restart",
+		Title: "Checkpoint/restore: warm vs cold recovery after a serving-layer kill",
+		Paper: "Not in the paper — extension: persistence of the O(shards·k) doubling state behind the HTTP service",
+		Run: func(cfg RunConfig, w io.Writer) error {
+			cfg = cfg.withDefaults()
+			n := cfg.scaled(200_000)
+			ds := genGau(25)(n, cfg.Seed)
+			fmt.Fprintf(w, "GAU k'=25 n=%d, k=25, shards=4, batch=512; recovery to first served assign, ms\n", n)
+			fmt.Fprintf(w, "%10s %10s %10s %12s %10s %8s\n",
+				"warm-ms", "cold-ms", "speedup", "ckpt-bytes", "ingested", "exact")
+			m, err := RunRestart(ds, RestartSpec{K: 25, Shards: 4})
+			if err != nil {
+				return err
+			}
+			speedup := 0.0
+			if m.WarmMs > 0 {
+				speedup = m.ColdMs / m.WarmMs
+			}
+			fmt.Fprintf(w, "%10.2f %10.2f %9.1fx %12d %10d %8v\n",
+				m.WarmMs, m.ColdMs, speedup, m.CheckpointBytes, m.Ingested, m.StateMatches)
+			return nil
+		},
+	})
+}

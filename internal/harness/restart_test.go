@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kcenter/internal/dataset"
+)
+
+func TestRunRestartWarmMatchesKilledState(t *testing.T) {
+	ds := dataset.Gau(dataset.GauConfig{N: 5000, KPrime: 10, Seed: 21}).Points
+	m, err := RunRestart(ds, RestartSpec{K: 10, Shards: 3, Batch: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ingested != 5000 {
+		t.Fatalf("ingested %d, want 5000", m.Ingested)
+	}
+	if !m.StateMatches {
+		t.Fatal("warm start did not resume the checkpointed state exactly")
+	}
+	if m.WarmMs <= 0 || m.ColdMs <= 0 {
+		t.Fatalf("recovery not timed: %+v", m)
+	}
+	if m.CheckpointBytes <= 0 {
+		t.Fatalf("checkpoint size not measured: %+v", m)
+	}
+	// The checkpoint is O(shards·k): a few KiB, never anywhere near the
+	// ~80 KB the 5000 raw points would occupy.
+	if m.CheckpointBytes > 32<<10 {
+		t.Fatalf("checkpoint unexpectedly large: %d bytes", m.CheckpointBytes)
+	}
+}
+
+func TestRestartExperimentRegistered(t *testing.T) {
+	e, ok := ByID("restart")
+	if !ok {
+		t.Fatal("restart experiment not registered")
+	}
+	var buf bytes.Buffer
+	if err := e.Run(RunConfig{Scale: 200, Repeats: 1, Seed: 5}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"warm-ms", "cold-ms", "speedup", "exact", "true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("experiment output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -4,6 +4,7 @@
 // measures algorithms; this experiment measures the serving layer those
 // algorithms were made fast for — what a capacity plan for "heavy traffic
 // from millions of users" starts from.
+
 package harness
 
 import (

@@ -5,6 +5,7 @@
 // experiment quantifies the price of its insertion-only extension — the
 // quality a production system gives up, and the throughput it gains, by
 // never materializing the dataset.
+
 package harness
 
 import (

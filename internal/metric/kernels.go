@@ -26,6 +26,7 @@
 // get bit-identical centers, radii and assignments, just faster. The
 // kernels_test.go property tests pin this against SqDist/SqDistNaive for
 // dims 1–16.
+
 package metric
 
 import "math"

@@ -24,6 +24,7 @@
 // distances it saves) or when queries are far from every center
 // (4·bestSq exceeds all center-center distances and nothing prunes) —
 // the kernels above keep even that worst case fast.
+
 package metric
 
 // Pruned is a center set prepared for triangle-inequality-pruned nearest-

@@ -2,7 +2,9 @@
 // {"error": "..."} with a meaningful status code: 400 malformed input or
 // dimension mismatch, 404 unknown route, 405 wrong method, 409 querying
 // before any data has been ingested, 413 batch over the configured limit,
-// 503 shutting down or backpressure timeout.
+// 429 (with Retry-After) batch shed at the ingest-queue watermark, 503
+// shutting down or client-side timeout while the queue was full.
+
 package server
 
 import (
@@ -107,8 +109,23 @@ type statsResponse struct {
 	AssignPoints    int64   `json:"assign_points"`
 	// DistEvals counts assignment distance evaluations actually performed
 	// (pruning makes this sub-linear in k per point above the crossover).
-	DistEvals      int64         `json:"dist_evals"`
-	SnapshotBuilds int64         `json:"snapshot_builds"`
+	DistEvals      int64 `json:"dist_evals"`
+	SnapshotBuilds int64 `json:"snapshot_builds"`
+	// ShedBatches/ShedPoints count ingest batches (and the points in them)
+	// rejected with 429 because the queue stayed at its watermark past the
+	// shed patience.
+	ShedBatches int64 `json:"shed_batches"`
+	ShedPoints  int64 `json:"shed_points"`
+	// CheckpointWrites/CheckpointErrors count persistence activity (0 when
+	// checkpointing is not configured); LastCheckpointUnixNano is the
+	// capture time of the newest on-disk checkpoint, 0 if none.
+	CheckpointWrites       int64 `json:"checkpoint_writes"`
+	CheckpointErrors       int64 `json:"checkpoint_errors"`
+	LastCheckpointUnixNano int64 `json:"last_checkpoint_unix_nano"`
+	// RestoredPoints is the ingested count inherited from the checkpoint
+	// this process warm-started from (0 on a cold start); it is already
+	// included in IngestedPoints.
+	RestoredPoints int64         `json:"restored_points"`
 	Snapshot       *snapshotMeta `json:"snapshot,omitempty"`
 	PerShard       []shardStats  `json:"per_shard,omitempty"`
 }
@@ -222,6 +239,11 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.enqueue(r.Context(), batch); err != nil {
+		if errors.Is(err, errOverCapacity) {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			writeError(w, http.StatusTooManyRequests, err.Error())
+			return
+		}
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
@@ -320,6 +342,15 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		AssignPoints:    s.assignPoints.Load(),
 		DistEvals:       s.distEvals.Load(),
 		SnapshotBuilds:  s.snapshotBuilds.Load(),
+		ShedBatches:     s.shedBatches.Load(),
+		ShedPoints:      s.shedPoints.Load(),
+
+		CheckpointWrites:       s.ckptWrites.Load(),
+		CheckpointErrors:       s.ckptErrors.Load(),
+		LastCheckpointUnixNano: s.lastCkptUnix.Load(),
+	}
+	if s.restored != nil {
+		resp.RestoredPoints = s.restored.Ingested
 	}
 	// Per-shard state is read live (cheap per-shard read locks, no merge)
 	// so its counters stay consistent with ingested_points above instead of

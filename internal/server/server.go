@@ -8,8 +8,10 @@
 //	POST /v1/ingest   batched point ingestion. Batches are validated, then
 //	                  enqueued on a bounded queue consumed by an ingest
 //	                  worker that feeds the sharded summarizer; a full queue
-//	                  blocks the handler (bounded by the request context),
-//	                  which is the backpressure signal to producers.
+//	                  is the overload watermark — the handler waits up to
+//	                  ShedAfter for space, then sheds the batch with 429 +
+//	                  Retry-After so persistently over-capacity producers
+//	                  get an explicit throttle instead of pinning handlers.
 //	POST /v1/assign   batch nearest-center assignment. All points of one
 //	                  request are assigned against a single cached snapshot
 //	                  (snapshot isolation), through the same adaptive
@@ -34,19 +36,31 @@
 // caller (the kcenter serve CLI) shuts the http.Server down first, so
 // in-flight handlers finish before the drain begins.
 //
+// Persistence (optional, via Config.CheckpointPath): the service restores
+// the clustering from its checkpoint on startup and persists it atomically
+// — in the background on CheckpointInterval whenever the center-set version
+// advanced, and once more after the graceful drain — so a restarted server
+// resumes the doubling algorithm exactly where it left off instead of
+// re-clustering from scratch. The checkpointed state is O(Shards·K); see
+// internal/checkpoint for the format and its corruption guarantees.
+//
 // Cumulative process-wide counters are also published via expvar under the
 // "kcenter_server" map, so a standard /debug/vars handler exposes them.
 package server
 
 import (
 	"context"
+	"errors"
 	"expvar"
 	"fmt"
+	"io/fs"
+	"math"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"kcenter/internal/checkpoint"
 	"kcenter/internal/metric"
 	"kcenter/internal/stream"
 )
@@ -62,10 +76,26 @@ type Config struct {
 	// MaxBatch caps the points accepted in one ingest or assign request;
 	// 0 means 4096. Larger batches get 413.
 	MaxBatch int
-	// QueueDepth bounds the ingest queue in batches; 0 means 64. When the
-	// queue is full, ingest handlers block until space frees or the request
-	// context is done — backpressure, not unbounded buffering.
+	// QueueDepth bounds the ingest queue in batches; 0 means 64. The queue
+	// being full is the service's overload watermark: ingest handlers wait
+	// up to ShedAfter for space, then shed the batch with 429.
 	QueueDepth int
+	// ShedAfter is how long an ingest handler waits at a full queue before
+	// shedding the batch with 429 + Retry-After. 0 means 1s. A negative
+	// value disables shedding entirely: handlers block until the request
+	// context expires (the pre-shedding backpressure behavior), which can
+	// pin every server thread on a persistently saturated queue.
+	ShedAfter time.Duration
+	// CheckpointPath, when non-empty, enables persistence: the service
+	// restores from the file on startup (if it exists) and checkpoints the
+	// clustering state to it periodically and on graceful Close, so a
+	// restarted server resumes with a warm clustering. The state written is
+	// O(Shards·K) regardless of ingest volume.
+	CheckpointPath string
+	// CheckpointInterval is the background checkpoint period; 0 means 15s.
+	// Each tick writes only if the center-set version advanced since the
+	// last write, so quiet periods write nothing.
+	CheckpointInterval time.Duration
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -80,6 +110,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.ShedAfter == 0 {
+		c.ShedAfter = time.Second
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 15 * time.Second
 	}
 	return c, nil
 }
@@ -116,6 +152,20 @@ type Service struct {
 	assignPoints    atomic.Int64
 	distEvals       atomic.Int64 // assignment distance evaluations
 	snapshotBuilds  atomic.Int64
+	shedBatches     atomic.Int64 // batches rejected with 429 at the queue watermark
+	shedPoints      atomic.Int64
+
+	// Checkpoint state: writes are serialized by ckptMu; lastCkptVersion
+	// remembers the center-set version of the last persisted snapshot so
+	// periodic sweeps skip writing when nothing changed (ckptEver
+	// distinguishes "never written" from "written at version 0").
+	ckptMu          sync.Mutex
+	ckptEver        atomic.Bool
+	lastCkptVersion atomic.Uint64
+	ckptWrites      atomic.Int64
+	ckptErrors      atomic.Int64
+	lastCkptUnix    atomic.Int64
+	restored        *RestoreSummary // nil on a cold start
 
 	// Snapshot cache: one entry, keyed by the sharded ingester's center
 	// version. Readers hit the atomic pointer lock-free; snapMu serializes
@@ -127,8 +177,27 @@ type Service struct {
 	started time.Time
 }
 
-// New starts a Service: the sharded ingester and the ingest worker that
-// drains the batch queue into it.
+// RestoreSummary describes a successful warm start from a checkpoint, for
+// operator-facing "resumed from ..." reporting.
+type RestoreSummary struct {
+	// Path is the checkpoint file the state was restored from.
+	Path string
+	// Created is when the checkpoint was captured.
+	Created time.Time
+	// Ingested is the number of points the restored clustering had seen.
+	Ingested int64
+	// Centers is the total retained center count across shards.
+	Centers int
+	// Dim is the restored point dimensionality.
+	Dim int
+	// CentersVersion is the restored center-set version counter.
+	CentersVersion uint64
+}
+
+// New starts a Service: the sharded ingester (warm-started from the
+// configured checkpoint when one exists), the ingest worker that drains the
+// batch queue into it, and — when checkpointing is configured — the
+// background checkpoint loop.
 func New(cfg Config) (*Service, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -149,10 +218,124 @@ func New(cfg Config) (*Service, error) {
 		done:    make(chan struct{}),
 		started: time.Now(),
 	}
+	if cfg.CheckpointPath != "" {
+		if err := s.restore(); err != nil {
+			// Reap the shard goroutines NewSharded already started; the
+			// empty-stream error from Finish is expected and irrelevant.
+			_, _ = sh.Finish()
+			return nil, err
+		}
+	}
 	s.routes()
 	s.wg.Add(1)
 	go s.ingestLoop()
+	if cfg.CheckpointPath != "" {
+		s.wg.Add(1)
+		go s.checkpointLoop()
+	}
 	return s, nil
+}
+
+// Restored reports the warm start this service performed, or nil if it
+// started cold (no checkpoint configured, or none existed yet).
+func (s *Service) Restored() *RestoreSummary {
+	return s.restored
+}
+
+// restore warm-starts the ingester from the configured checkpoint. A missing
+// file is a cold start, not an error; anything else — corruption, a format
+// version this build does not read, or a state that does not match the
+// configuration — fails construction, because silently serving an empty
+// clustering when the operator asked for a resumed one loses data twice
+// (the warm state now, and the eventual overwrite of the checkpoint).
+func (s *Service) restore() error {
+	snap, err := checkpoint.Read(s.cfg.CheckpointPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if err := snap.Restore(s.sh, ""); err != nil {
+		return err
+	}
+	s.dim.Store(int64(snap.Dim))
+	// The stats contract is that ingested_points covers the clustering's
+	// whole history, which now began before this process did.
+	s.ingestedPoints.Store(snap.Ingested)
+	s.ckptEver.Store(true)
+	s.lastCkptVersion.Store(snap.CentersVersion)
+	s.lastCkptUnix.Store(snap.CreatedUnixNano)
+	var centers int
+	for i := range snap.State.Shards {
+		centers += len(snap.State.Shards[i].Centers)
+	}
+	s.restored = &RestoreSummary{
+		Path:           s.cfg.CheckpointPath,
+		Created:        snap.Created(),
+		Ingested:       snap.Ingested,
+		Centers:        centers,
+		Dim:            snap.Dim,
+		CentersVersion: snap.CentersVersion,
+	}
+	return nil
+}
+
+// checkpointLoop periodically persists the clustering state, writing only
+// when the center-set version has advanced since the last write so quiet
+// periods cost nothing. Write failures are counted (checkpoint_errors in
+// /v1/stats) and retried next tick; the previous checkpoint stays intact on
+// disk either way, because writes are atomic.
+func (s *Service) checkpointLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			if v := s.sh.CentersVersion(); s.ckptEver.Load() && v == s.lastCkptVersion.Load() {
+				continue
+			}
+			if s.dim.Load() == 0 {
+				continue // nothing ever ingested: nothing worth persisting
+			}
+			_ = s.writeCheckpoint()
+		}
+	}
+}
+
+// CheckpointNow synchronously captures and persists the current clustering
+// state, regardless of whether the center-set version advanced. It is the
+// forced-flush entry point for tests, operational tooling and the restart
+// experiment; the periodic loop and graceful Close call the same writer. It
+// fails if the service was built without a CheckpointPath.
+func (s *Service) CheckpointNow() error {
+	if s.cfg.CheckpointPath == "" {
+		return fmt.Errorf("server: no checkpoint path configured")
+	}
+	return s.writeCheckpoint()
+}
+
+// writeCheckpoint captures and atomically persists the state. Serialized by
+// ckptMu so the periodic loop, CheckpointNow and the final flush in Close
+// never interleave, and lastCkptVersion always names the version on disk.
+func (s *Service) writeCheckpoint() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	snap := checkpoint.Capture(s.sh, "")
+	if err := checkpoint.Write(s.cfg.CheckpointPath, snap); err != nil {
+		s.ckptErrors.Add(1)
+		expstats.Add("checkpoint_errors", 1)
+		return err
+	}
+	s.ckptEver.Store(true)
+	s.lastCkptVersion.Store(snap.CentersVersion)
+	s.lastCkptUnix.Store(snap.CreatedUnixNano)
+	s.ckptWrites.Add(1)
+	expstats.Add("checkpoint_writes", 1)
+	return nil
 }
 
 // Handler returns the service's HTTP handler (the /v1 API).
@@ -177,10 +360,12 @@ func (s *Service) ingestLoop() {
 	}
 }
 
-// enqueue hands one validated batch to the ingest worker, blocking while the
-// bounded queue is full. It fails when the service is shutting down or when
-// ctx is done first (the backpressure path: the client sees the request time
-// out or its own cancellation).
+// enqueue hands one validated batch to the ingest worker. A full queue is
+// the overload watermark: the handler waits up to ShedAfter for space, then
+// sheds with errOverCapacity (HTTP 429 + Retry-After) so producers that are
+// persistently over capacity get an explicit throttle signal instead of
+// pinning a handler indefinitely. It also fails when the service is shutting
+// down or when ctx is done first (client timeout or cancellation).
 func (s *Service) enqueue(ctx context.Context, batch [][]float64) error {
 	s.qmu.RLock()
 	defer s.qmu.RUnlock()
@@ -194,27 +379,74 @@ func (s *Service) enqueue(ctx context.Context, batch [][]float64) error {
 	select {
 	case s.queue <- batch:
 		return nil
+	default:
+	}
+	if s.cfg.ShedAfter < 0 {
+		// Shedding disabled: block until space, shutdown or the request
+		// context expires.
+		select {
+		case s.queue <- batch:
+			return nil
+		case <-s.done:
+			s.pendingBatches.Add(-1)
+			return errShuttingDown
+		case <-ctx.Done():
+			s.pendingBatches.Add(-1)
+			return fmt.Errorf("ingest queue full: %w", ctx.Err())
+		}
+	}
+	shed := time.NewTimer(s.cfg.ShedAfter)
+	defer shed.Stop()
+	select {
+	case s.queue <- batch:
+		return nil
 	case <-s.done:
 		s.pendingBatches.Add(-1)
 		return errShuttingDown
 	case <-ctx.Done():
 		s.pendingBatches.Add(-1)
 		return fmt.Errorf("ingest queue full: %w", ctx.Err())
+	case <-shed.C:
+		s.pendingBatches.Add(-1)
+		s.shedBatches.Add(1)
+		s.shedPoints.Add(int64(len(batch)))
+		expstats.Add("shed_batches", 1)
+		expstats.Add("shed_points", int64(len(batch)))
+		return errOverCapacity
 	}
 }
 
 var errShuttingDown = fmt.Errorf("service is shutting down")
 
+// errOverCapacity reports a batch shed at the queue watermark; the handler
+// maps it to 429 + Retry-After.
+var errOverCapacity = fmt.Errorf("ingest queue full: over capacity")
+
+// retryAfterSeconds is the Retry-After hint sent with a shed response: the
+// shed patience rounded up to whole seconds (at least 1), since a producer
+// retrying sooner than the patience window would likely be shed again.
+func (s *Service) retryAfterSeconds() int {
+	secs := int(math.Ceil(s.cfg.ShedAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // Close drains and flushes the service: new batches are rejected, queued
 // batches are pushed into the shards, and the ingester's Finish merge runs,
-// returning the final clustering over everything ingested. The HTTP server
-// should be shut down first so no handler is still producing. If ctx expires
-// mid-drain, Close returns its error and the final merge is skipped.
+// returning the final clustering over everything ingested. When persistence
+// is configured, the fully drained state is checkpointed after the merge, so
+// the next start resumes from everything this process ingested. The HTTP
+// server should be shut down first so no handler is still producing. If ctx
+// expires mid-drain, Close returns its error and the final merge and
+// checkpoint are skipped (the last periodic checkpoint stays intact). A
+// failed final checkpoint returns both the merged result and the error.
 func (s *Service) Close(ctx context.Context) (*stream.Result, error) {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil, fmt.Errorf("server: Close called twice")
 	}
-	close(s.done) // wake handlers blocked on a full queue
+	close(s.done) // wake handlers blocked on a full queue and stop the checkpoint loop
 	s.qmu.Lock()  // every enqueue holds the read side; none in flight now
 	close(s.queue)
 	s.qmu.Unlock()
@@ -228,7 +460,18 @@ func (s *Service) Close(ctx context.Context) (*stream.Result, error) {
 	case <-ctx.Done():
 		return nil, fmt.Errorf("server: drain aborted: %w", ctx.Err())
 	}
-	return s.sh.Finish()
+	res, err := s.sh.Finish()
+	if err != nil {
+		return nil, err
+	}
+	// The shard goroutines have exited, so this capture sees every drained
+	// point — the one moment a checkpoint is exhaustive by construction.
+	if s.cfg.CheckpointPath != "" {
+		if werr := s.writeCheckpoint(); werr != nil {
+			return res, fmt.Errorf("server: final checkpoint: %w", werr)
+		}
+	}
+	return res, nil
 }
 
 // querySnapshot is one cached consistent view of the clustering: the merged

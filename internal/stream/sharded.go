@@ -1,6 +1,7 @@
 // Sharded ingestion: s goroutine-owned Summary shards fed over channels,
 // merged on Finish by a Gonzalez pass over the union of shard centers —
 // the streaming analogue of MRG's partition/recluster rounds.
+
 package stream
 
 import (

@@ -1,0 +1,273 @@
+package stream
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"kcenter/internal/metric"
+)
+
+// statePoints generates a deterministic clustered feed that forces several
+// doubling rounds at the given k.
+func statePoints(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		cx, cy := float64(rng.Intn(40))*25, float64(rng.Intn(40))*25
+		pts[i] = []float64{cx + rng.NormFloat64(), cy + rng.NormFloat64()}
+	}
+	return pts
+}
+
+// TestSummaryExportRestoreResumesExactly pins the tentpole contract at the
+// single-summary level: restoring an exported state and continuing the feed
+// produces bit-identical centers, radius and counters to never having
+// stopped.
+func TestSummaryExportRestoreResumesExactly(t *testing.T) {
+	for _, m := range []metric.Interface{nil, metric.Manhattan{}} {
+		pts := statePoints(5000, 7)
+		cut := 2500
+		orig := NewSummary(10, Options{Metric: m})
+		for _, p := range pts[:cut] {
+			orig.Push(p)
+		}
+		st := orig.ExportState()
+
+		resumed := NewSummary(10, Options{Metric: m})
+		if err := resumed.restoreState(st, 0); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		if resumed.R() != orig.R() || resumed.N() != orig.N() ||
+			resumed.Merges() != orig.Merges() || resumed.Version() != orig.Version() {
+			t.Fatalf("restored counters differ: r %v/%v n %d/%d merges %d/%d version %d/%d",
+				resumed.R(), orig.R(), resumed.N(), orig.N(),
+				resumed.Merges(), orig.Merges(), resumed.Version(), orig.Version())
+		}
+		// The rebuilt distance matrix must match bit for bit on the active
+		// n×n block — it drives every future coverage and merge decision.
+		// (Entries beyond the block are compaction leftovers in the original
+		// and zeros in the restore; neither is ever read.)
+		stride := orig.k + 1
+		for i := 0; i < orig.centers.N; i++ {
+			for j := 0; j < orig.centers.N; j++ {
+				if orig.cc[i*stride+j] != resumed.cc[i*stride+j] {
+					t.Fatalf("cc[%d,%d]: %v != %v", i, j, resumed.cc[i*stride+j], orig.cc[i*stride+j])
+				}
+			}
+		}
+		for _, p := range pts[cut:] {
+			orig.Push(p)
+			resumed.Push(p)
+		}
+		a, b := orig.Centers(), resumed.Centers()
+		if a.N != b.N || orig.R() != resumed.R() || orig.Version() != resumed.Version() {
+			t.Fatalf("diverged after resume: centers %d/%d r %v/%v version %d/%d",
+				b.N, a.N, resumed.R(), orig.R(), resumed.Version(), orig.Version())
+		}
+		for i := 0; i < a.N; i++ {
+			for d, v := range a.At(i) {
+				if b.At(i)[d] != v {
+					t.Fatalf("center %d dim %d: %v != %v", i, d, b.At(i)[d], v)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedExportRestoreResumesExactly runs the same pin through the
+// sharded ingester: a restored ingester fed the remaining stream finishes
+// bit-identically to one that never stopped.
+func TestShardedExportRestoreResumesExactly(t *testing.T) {
+	pts := statePoints(8000, 11)
+	cut := 4000
+	newIngester := func() *Sharded {
+		sh, err := NewSharded(ShardedConfig{K: 12, Shards: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sh
+	}
+	feed := func(sh *Sharded, pts [][]float64) {
+		for _, p := range pts {
+			if err := sh.Push(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	orig := newIngester()
+	feed(orig, pts[:cut])
+	// Single producer: everything is routed; wait for the shards to drain so
+	// the export captures every point. Snapshot-before-export isn't enough —
+	// use Finish-free quiescence via CentersVersion stabilization.
+	waitDrained(t, orig, int64(cut))
+	st := orig.ExportState()
+	if st.Ingested() != int64(cut) {
+		t.Fatalf("exported state ingested %d, want %d", st.Ingested(), cut)
+	}
+	if st.CentersVersion() != orig.CentersVersion() {
+		t.Fatalf("state version %d, live version %d", st.CentersVersion(), orig.CentersVersion())
+	}
+
+	resumed := newIngester()
+	if err := resumed.RestoreState(st); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	feed(orig, pts[cut:])
+	feed(resumed, pts[cut:])
+	a, err := orig.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := resumed.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bound != b.Bound || a.LowerBound != b.LowerBound || a.Ingested != b.Ingested ||
+		a.UnionSize != b.UnionSize || a.Centers.N != b.Centers.N {
+		t.Fatalf("resumed finish differs: %+v vs %+v", b, a)
+	}
+	for i := 0; i < a.Centers.N; i++ {
+		for d, v := range a.Centers.At(i) {
+			if b.Centers.At(i)[d] != v {
+				t.Fatalf("final center %d dim %d: %v != %v", i, d, b.Centers.At(i)[d], v)
+			}
+		}
+	}
+	for i := range a.PerShard {
+		if a.PerShard[i] != b.PerShard[i] {
+			t.Fatalf("shard %d state differs: %+v vs %+v", i, b.PerShard[i], a.PerShard[i])
+		}
+	}
+}
+
+// waitDrained blocks until the ingester reports n ingested points across
+// shards (the test pushed with a single producer, so routing is complete
+// once Push returns; only channel drain remains).
+func waitDrained(t *testing.T, sh *Sharded, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var got int64
+		for _, s := range sh.PerShardStats() {
+			got += s.Ingested
+		}
+		if got == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shards drained %d of %d points before timeout", got, n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestRestoreStateMismatches(t *testing.T) {
+	mk := func(k, shards int) *Sharded {
+		sh, err := NewSharded(ShardedConfig{K: k, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sh
+	}
+	base := mk(5, 2)
+	for _, p := range statePoints(500, 3) {
+		if err := base.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitDrained(t, base, 500)
+	st := base.ExportState()
+
+	if err := mk(6, 2).RestoreState(st); !errors.Is(err, ErrStateMismatch) {
+		t.Fatalf("k mismatch: got %v", err)
+	}
+	if err := mk(5, 3).RestoreState(st); !errors.Is(err, ErrStateMismatch) {
+		t.Fatalf("shard-count mismatch: got %v", err)
+	}
+	ingested := mk(5, 2)
+	if err := ingested.Push([]float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ingested.RestoreState(st); !errors.Is(err, ErrStateMismatch) {
+		t.Fatalf("restore after ingest: got %v", err)
+	}
+	finished := mk(5, 2)
+	if err := finished.Push([]float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := finished.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := finished.RestoreState(st); !errors.Is(err, ErrStateMismatch) {
+		t.Fatalf("restore after finish: got %v", err)
+	}
+	if err := mk(5, 2).RestoreState(nil); !errors.Is(err, ErrStateInvalid) {
+		t.Fatalf("nil state: got %v", err)
+	}
+}
+
+func TestRestoreStateInvalid(t *testing.T) {
+	base, err := NewSharded(ShardedConfig{K: 4, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range statePoints(300, 5) {
+		if err := base.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitDrained(t, base, 300)
+	good := base.ExportState()
+
+	corrupt := func(name string, mutate func(st *ShardedState)) {
+		st := *good
+		st.Shards = append([]SummaryState(nil), good.Shards...)
+		st.Shards[0].Centers = make([][]float64, len(good.Shards[0].Centers))
+		for i, c := range good.Shards[0].Centers {
+			st.Shards[0].Centers[i] = append([]float64(nil), c...)
+		}
+		mutate(&st)
+		fresh, err := NewSharded(ShardedConfig{K: 4, Shards: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.RestoreState(&st); !errors.Is(err, ErrStateInvalid) {
+			t.Fatalf("%s: got %v, want ErrStateInvalid", name, err)
+		}
+		// A refused restore leaves the ingester empty — including the shard
+		// whose state was rejected only by the distance-level checks after
+		// its summary had been partially loaded — and usable.
+		for si, ss := range fresh.PerShardStats() {
+			if ss.Ingested != 0 || ss.Centers != 0 || ss.R != 0 {
+				t.Fatalf("%s: shard %d not empty after refused restore: %+v", name, si, ss)
+			}
+		}
+		if err := fresh.Push([]float64{1, 2}); err != nil {
+			t.Fatalf("%s: push after refused restore: %v", name, err)
+		}
+		if _, err := fresh.Finish(); err != nil {
+			t.Fatalf("%s: finish after refused restore: %v", name, err)
+		}
+	}
+
+	corrupt("NaN coordinate", func(st *ShardedState) { st.Shards[0].Centers[0][0] = math.NaN() })
+	corrupt("negative radius", func(st *ShardedState) { st.Shards[0].R = -1 })
+	corrupt("n below center count", func(st *ShardedState) { st.Shards[0].N = 1 })
+	corrupt("version below center count", func(st *ShardedState) { st.Shards[0].Version = 0 })
+	corrupt("radius without doublings", func(st *ShardedState) { st.Shards[0].Merges = 0 })
+	corrupt("dimension drift", func(st *ShardedState) {
+		st.Shards[0].Centers[1] = []float64{1, 2, 3}
+	})
+	corrupt("duplicate centers violate separation", func(st *ShardedState) {
+		st.Shards[0].Centers[1] = append([]float64(nil), st.Shards[0].Centers[0]...)
+	})
+	corrupt("too many centers", func(st *ShardedState) {
+		for i := 0; i < 5; i++ {
+			st.Shards[0].Centers = append(st.Shards[0].Centers, []float64{float64(10000 + i), 0})
+		}
+	})
+}

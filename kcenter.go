@@ -19,10 +19,12 @@
 //     with optional sharded concurrent ingestion. Memory is O(s·k),
 //     independent of the stream length — points are never materialized.
 //   - Server: an HTTP/JSON serving layer over the same streaming substrate.
-//     POST /v1/ingest feeds batches in (bounded-queue backpressure), POST
-//     /v1/assign answers batch nearest-center queries against consistent
-//     snapshots, GET /v1/centers and /v1/stats expose the clustering and
-//     service counters. See NewServer and the kcenter serve subcommand.
+//     POST /v1/ingest feeds batches in (bounded queue with 429/Retry-After
+//     load shedding at the watermark), POST /v1/assign answers batch
+//     nearest-center queries against consistent snapshots, GET /v1/centers
+//     and /v1/stats expose the clustering and service counters. Optional
+//     checkpoint/restore persistence lets a restarted server resume its
+//     clustering warm. See NewServer and the kcenter serve subcommand.
 //
 // Parallel algorithms run on a simulated MapReduce cluster (m machines,
 // default 50 as in the paper); reported runtimes follow the paper's cost
@@ -62,6 +64,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"kcenter/internal/assign"
 	"kcenter/internal/core"
@@ -375,18 +378,54 @@ type ServerOptions struct {
 	// larger batches are rejected with HTTP 413.
 	MaxBatch int
 	// QueueDepth bounds the ingest queue in batches (0 = 64). A full queue
-	// blocks ingest handlers until space frees or the request times out —
-	// the service's backpressure signal.
+	// is the service's overload watermark: ingest handlers wait up to
+	// ShedAfter for space, then shed the batch.
 	QueueDepth int
+	// ShedAfter is how long an ingest request may wait at a full queue
+	// before it is shed with HTTP 429 + Retry-After (0 = 1s). Negative
+	// disables shedding: requests block until their context expires, which
+	// can pin every server thread when producers are persistently over
+	// capacity.
+	ShedAfter time.Duration
+	// CheckpointPath, when non-empty, enables persistence: the server
+	// restores from this file on startup (if it exists) and checkpoints the
+	// clustering state to it periodically and on Shutdown, so a restarted
+	// server resumes with a warm clustering instead of re-clustering from
+	// scratch. Checkpoints are O(Shards·k) and written atomically.
+	CheckpointPath string
+	// CheckpointInterval is the background checkpoint period (0 = 15s).
+	// A checkpoint is written only when the center set changed since the
+	// last one, so quiet periods write nothing.
+	CheckpointInterval time.Duration
+}
+
+// ServerRestore describes the warm start a server performed from its
+// checkpoint; see Server.Restored.
+type ServerRestore struct {
+	// Path is the checkpoint file the state came from.
+	Path string
+	// Created is when the checkpoint was captured.
+	Created time.Time
+	// Ingested is the number of points the restored clustering had seen.
+	Ingested int64
+	// Centers is the total retained center count across shards.
+	Centers int
+	// Dim is the restored point dimensionality.
+	Dim int
+	// CentersVersion is the restored center-set version counter (the
+	// /v1/assign snapshot version resumes from here).
+	CentersVersion uint64
 }
 
 // Server is an HTTP/JSON clustering service over a live stream: POST
 // /v1/ingest feeds batches into a sharded streaming ingester, POST
 // /v1/assign answers batch nearest-center queries against a consistent
 // snapshot of the current clustering, GET /v1/centers and GET /v1/stats
-// expose the centers and service counters. Create with NewServer, mount
-// Handler on an http.Server, and call Shutdown exactly once to drain
-// in-flight batches and flush the final clustering.
+// expose the centers and service counters. With a CheckpointPath it
+// persists the clustering and resumes it warm on restart (see Restored).
+// Create with NewServer, mount Handler on an http.Server, and call
+// Shutdown exactly once to drain in-flight batches and flush the final
+// clustering.
 type Server struct {
 	svc    *server.Service
 	shards int
@@ -405,16 +444,38 @@ func NewServer(k int, opt ServerOptions) (*Server, error) {
 		shards = 1
 	}
 	svc, err := server.New(server.Config{
-		K:          k,
-		Shards:     shards,
-		Buffer:     opt.Buffer,
-		MaxBatch:   opt.MaxBatch,
-		QueueDepth: opt.QueueDepth,
+		K:                  k,
+		Shards:             shards,
+		Buffer:             opt.Buffer,
+		MaxBatch:           opt.MaxBatch,
+		QueueDepth:         opt.QueueDepth,
+		ShedAfter:          opt.ShedAfter,
+		CheckpointPath:     opt.CheckpointPath,
+		CheckpointInterval: opt.CheckpointInterval,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Server{svc: svc, shards: shards}, nil
+}
+
+// Restored reports the warm start this server performed from its configured
+// checkpoint, or nil if it started cold (no CheckpointPath, or the file did
+// not exist yet). A non-nil result means ingestion and queries resume from
+// exactly the checkpointed clustering: same centers, bounds and version.
+func (s *Server) Restored() *ServerRestore {
+	rs := s.svc.Restored()
+	if rs == nil {
+		return nil
+	}
+	return &ServerRestore{
+		Path:           rs.Path,
+		Created:        rs.Created,
+		Ingested:       rs.Ingested,
+		Centers:        rs.Centers,
+		Dim:            rs.Dim,
+		CentersVersion: rs.CentersVersion,
+	}
 }
 
 // Handler returns the service's HTTP handler (the /v1 API), ready to mount
@@ -423,15 +484,18 @@ func (s *Server) Handler() http.Handler { return s.svc.Handler() }
 
 // Shutdown gracefully stops the service: new batches are rejected, queued
 // batches are drained into the clustering, and the final merged result is
-// returned — the same certified solution Finish returns for a Stream. Shut
-// the HTTP server down first so no request is still in flight. Call it
-// exactly once; ctx bounds the drain.
+// returned — the same certified solution Finish returns for a Stream. When a
+// CheckpointPath is configured, the fully drained state is checkpointed so
+// the next start resumes warm. Shut the HTTP server down first so no request
+// is still in flight. Call it exactly once; ctx bounds the drain. If the
+// drain succeeded but the final checkpoint failed, Shutdown returns both the
+// result and the error.
 func (s *Server) Shutdown(ctx context.Context) (*StreamResult, error) {
 	res, err := s.svc.Close(ctx)
-	if err != nil {
+	if res == nil {
 		return nil, err
 	}
-	return newStreamResult(res, s.shards), nil
+	return newStreamResult(res, s.shards), err
 }
 
 // RadiusPoints evaluates the covering radius of explicit coordinate centers

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Canonical tier-1 gate, mirroring `make check` for environments without
-# make. Runs vet, build, the full test suite, and the race-detector pass
-# over the concurrent streaming ingestion path and the serving layer.
+# make. Runs vet, build, the full test suite, the race-detector pass over
+# the concurrent streaming ingestion path and the serving layer, a bench
+# smoke, and the docs gate (scripts/docscheck.sh).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,5 +25,8 @@ go test -race -short ./internal/stream/... ./internal/server/...
 # or `BENCHTIME=2s sh scripts/bench.sh` when landing a perf change).
 echo "== bench smoke (scripts/bench.sh, BENCHTIME=1x)"
 OUT="${TMPDIR:-/tmp}/BENCH_kernels.smoke.json" sh scripts/bench.sh
+
+echo "== docs gate (scripts/docscheck.sh)"
+sh scripts/docscheck.sh
 
 echo "OK"
