@@ -18,7 +18,8 @@ test:
 	$(GO) test ./...
 
 # Race-detector gate over the concurrent ingestion path and the serving
-# layer; -short keeps it under a couple of seconds.
+# layer — including the multi-tenant lifecycle test (concurrent tenant
+# create/ingest/assign/checkpoint); -short keeps it under a few seconds.
 race:
 	$(GO) test -race -short ./internal/stream/... ./internal/server/...
 

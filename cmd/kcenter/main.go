@@ -20,14 +20,21 @@
 // ingestion (POST /v1/ingest, shedding with 429 + Retry-After when the
 // bounded queue stays full past -shed-after), batch nearest-center
 // assignment against consistent snapshots (POST /v1/assign), and
-// introspection (GET /v1/centers, GET /v1/stats). With -checkpoint the
-// server persists its clustering state and resumes it warm on the next
-// boot, logging a resume summary. SIGINT/SIGTERM shut it down gracefully,
-// draining queued batches, writing the final checkpoint and printing the
-// final certified clustering:
+// introspection (GET /v1/centers, GET /v1/stats, GET /v1/tenants). With
+// -tenants N one server multiplexes up to N independent clusterings,
+// routed by the X-Kcenter-Tenant header and created lazily on first
+// ingest (k from X-Kcenter-K or -default-k); requests without a tenant
+// header keep the single-tenant wire format exactly. With -checkpoint the
+// server persists every tenant's clustering state (the default tenant in
+// the named file, others under <file>.d/) and resumes them warm on the
+// next boot, logging resume summaries; -checkpoint-keep N retains the
+// last N checkpoints per tenant for operator rollback. SIGINT/SIGTERM
+// shut it down gracefully, draining queued batches, writing the final
+// checkpoints and printing the final certified clustering:
 //
 //	kcenter serve -addr :8080 -k 25 -shards 8
 //	kcenter serve -addr :8080 -k 25 -checkpoint /var/lib/kcenter/serve.ckpt
+//	kcenter serve -addr :8080 -k 25 -tenants 64 -default-k 10 -checkpoint-keep 3
 //	kcenter serve -addr 127.0.0.1:0 -k 10 -max-batch 1024 -read-timeout 5s
 //
 // Exit status is non-zero on any configuration or runtime error.
@@ -170,6 +177,9 @@ func runServe(args []string, out io.Writer, stop <-chan os.Signal) error {
 		shedAfter    = fs.Duration("shed-after", 0, "patience at a full ingest queue before shedding with 429 (0 = 1s, negative = block)")
 		ckptPath     = fs.String("checkpoint", "", "checkpoint file: restore on boot, persist periodically and on shutdown")
 		ckptInterval = fs.Duration("checkpoint-interval", 0, "background checkpoint period (0 = 15s; writes only on center changes)")
+		ckptKeep     = fs.Int("checkpoint-keep", 0, "keep the last N checkpoints per tenant as <path>.1..N for rollback (0 = none)")
+		tenants      = fs.Int("tenants", 0, "max tenants for multi-tenant serving; 0 = single-tenant mode")
+		defaultK     = fs.Int("default-k", 0, "centers for lazily created tenants without an X-Kcenter-K header (0 = -k)")
 		readTimeout  = fs.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "HTTP write timeout (bounds ingest queue waits)")
 		drainTimeout = fs.Duration("drain-timeout", time.Minute, "shutdown budget for draining queued batches")
@@ -185,13 +195,20 @@ func runServe(args []string, out io.Writer, stop <-chan os.Signal) error {
 		ShedAfter:          *shedAfter,
 		CheckpointPath:     *ckptPath,
 		CheckpointInterval: *ckptInterval,
+		CheckpointKeep:     *ckptKeep,
+		MaxTenants:         *tenants,
+		DefaultK:           *defaultK,
 	})
 	if err != nil {
 		return err
 	}
-	if rs := srv.Restored(); rs != nil {
-		fmt.Fprintf(out, "resumed from checkpoint %s: centers=%d ingested=%d dim=%d version=%d age=%v\n",
-			rs.Path, rs.Centers, rs.Ingested, rs.Dim, rs.CentersVersion,
+	for _, rs := range srv.TenantRestores() {
+		tenant := ""
+		if rs.Tenant != "default" {
+			tenant = "tenant " + rs.Tenant + " "
+		}
+		fmt.Fprintf(out, "%sresumed from checkpoint %s: centers=%d ingested=%d dim=%d version=%d age=%v\n",
+			tenant, rs.Path, rs.Centers, rs.Ingested, rs.Dim, rs.CentersVersion,
 			time.Since(rs.Created).Round(time.Second))
 	}
 	ln, err := net.Listen("tcp", *addr)

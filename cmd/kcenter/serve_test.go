@@ -287,3 +287,106 @@ func TestRunServeEmptyShutdown(t *testing.T) {
 		t.Fatalf("empty-shutdown notice missing:\n%s", out.String())
 	}
 }
+
+// TestRunServeMultiTenant drives the -tenants flags end to end: lazy tenant
+// creation over HTTP, the registry listing, per-tenant checkpoint files on
+// graceful shutdown, and the per-tenant resume log on the next boot.
+func TestRunServeMultiTenant(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "serve.ckpt")
+	args := []string{"serve", "-addr", "127.0.0.1:0", "-k", "4", "-shards", "2",
+		"-tenants", "3", "-default-k", "2", "-checkpoint", ckpt, "-checkpoint-keep", "2"}
+
+	out := &syncBuffer{}
+	stop := make(chan os.Signal, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(args, out, stop) }()
+	var url string
+	deadline := time.Now().Add(10 * time.Second)
+	for url == "" {
+		if m := serveURLRe.FindStringSubmatch(out.String()); m != nil {
+			url = m[1]
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("serve exited early: %v\noutput:\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen line; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(url+"/v1/ingest", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{"points": [[0,0],[5,5]]}`); code != http.StatusAccepted {
+		t.Fatalf("default ingest status %d", code)
+	}
+	if code := post(`{"tenant": "web", "points": [[100,100],[105,105]]}`); code != http.StatusAccepted {
+		t.Fatalf("tenant ingest status %d", code)
+	}
+	var reg struct {
+		Tenants []struct {
+			Name string `json:"name"`
+			K    int    `json:"k"`
+		} `json:"tenants"`
+	}
+	resp, err := http.Get(url + "/v1/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(reg.Tenants) != 2 || reg.Tenants[1].Name != "web" || reg.Tenants[1].K != 2 {
+		t.Fatalf("registry: %+v", reg.Tenants)
+	}
+
+	stop <- os.Interrupt
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve returned %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("serve did not shut down; output:\n%s", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "serve.ckpt.d", "web.ckpt")); err != nil {
+		t.Fatalf("per-tenant checkpoint missing: %v", err)
+	}
+
+	// Reboot: both tenants resume warm, each logged.
+	out2 := &syncBuffer{}
+	stop2 := make(chan os.Signal, 1)
+	errc2 := make(chan error, 1)
+	go func() { errc2 <- run(args, out2, stop2) }()
+	for !strings.Contains(out2.String(), "serving on") {
+		select {
+		case err := <-errc2:
+			t.Fatalf("reboot exited early: %v\noutput:\n%s", err, out2.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reboot never listened; output:\n%s", out2.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	boot := out2.String()
+	if !strings.Contains(boot, "resumed from checkpoint "+ckpt) ||
+		!strings.Contains(boot, "tenant web resumed from checkpoint") {
+		t.Fatalf("resume log missing tenants:\n%s", boot)
+	}
+	stop2 <- os.Interrupt
+	if err := <-errc2; err != nil {
+		t.Fatalf("reboot shutdown: %v", err)
+	}
+}

@@ -3,8 +3,11 @@
 // /v1/ingest, nearest-center queries against consistent snapshots over POST
 // /v1/assign, introspection via GET /v1/centers and /v1/stats — then shut
 // it down gracefully, restart it from its checkpoint, and confirm the new
-// process resumes with the identical clustering before comparing against
-// the batch baseline that got to see all points at once.
+// process resumes with the identical clustering. A second walkthrough runs
+// the server multi-tenant: two tenants created lazily by their first
+// ingest, routed by header, each with its own k, isolated centers and
+// per-tenant checkpoint file. Finally the serving result is compared
+// against the batch baseline that got to see all points at once.
 //
 //	go run ./examples/serving
 package main
@@ -13,6 +16,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -31,11 +35,25 @@ const (
 )
 
 func postJSON(url string, req any, resp any) (int, error) {
+	return postJSONHeaders(url, nil, req, resp)
+}
+
+// postJSONHeaders posts with extra headers — how a client routes to a
+// tenant (X-Kcenter-Tenant) or pins a new tenant's shape (X-Kcenter-K).
+func postJSONHeaders(url string, headers map[string]string, req any, resp any) (int, error) {
 	b, err := json.Marshal(req)
 	if err != nil {
 		return 0, err
 	}
-	r, err := http.Post(url, "application/json", bytes.NewReader(b))
+	hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		hreq.Header.Set(k, v)
+	}
+	r, err := http.DefaultClient.Do(hreq)
 	if err != nil {
 		return 0, err
 	}
@@ -202,6 +220,117 @@ func main() {
 	}
 	if _, err := srv2.Shutdown(ctx); err != nil {
 		log.Fatal(err)
+	}
+
+	// Multi-tenant walkthrough: one server multiplexing independent
+	// clusterings. Tenants are created lazily on first ingest contact
+	// (below the -tenants cap), routed by the X-Kcenter-Tenant header (or
+	// a "tenant" body field), each with its own k, shards, dimension,
+	// ingest queue, snapshot cache — and, with -checkpoint, its own
+	// <path>.d/<name>.ckpt file that restores independently. Requests that
+	// name no tenant keep hitting the implicit default tenant with the
+	// exact single-tenant wire format above.
+	srv3, err := kcenter.NewServer(k, kcenter.ServerOptions{
+		Shards: 2, MaxTenants: 4, DefaultK: 4,
+		CheckpointPath: filepath.Join(dir, "tenants.ckpt"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln3, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs3 := &http.Server{Handler: srv3.Handler()}
+	go hs3.Serve(ln3)
+	base3 := "http://" + ln3.Addr().String()
+	fmt.Printf("multi-tenant service on %s (max 4 tenants)\n", base3)
+
+	// Two tenants over disjoint regions; "eu" pins its own k with the
+	// X-Kcenter-K header, "us" takes the -default-k value (4).
+	for t, dx := range map[string]float64{"eu": 0, "us": 5000} {
+		pts := make([][]float64, batch)
+		for i := range pts {
+			p := feed.At(i)
+			pts[i] = []float64{p[0] + dx, p[1]}
+		}
+		hdr := map[string]string{"X-Kcenter-Tenant": t}
+		if t == "eu" {
+			hdr["X-Kcenter-K"] = "3"
+		}
+		code, err := postJSONHeaders(base3+"/v1/ingest", hdr, pointsBody{Points: pts}, nil)
+		if err != nil || code != http.StatusAccepted {
+			log.Fatalf("tenant %s ingest: code %d err %v", t, code, err)
+		}
+	}
+	// The registry: every tenant's shape, counters and checkpoint file.
+	var reg struct {
+		MaxTenants int `json:"max_tenants"`
+		Tenants    []struct {
+			Name     string `json:"name"`
+			Status   string `json:"status"`
+			K        int    `json:"k"`
+			Ingested int64  `json:"ingested_points"`
+		} `json:"tenants"`
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base3 + "/v1/tenants")
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&reg)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var drained int64
+		for _, ti := range reg.Tenants {
+			drained += ti.Ingested
+		}
+		if drained == 2*batch {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("tenants: feeds never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, ti := range reg.Tenants {
+		fmt.Printf("tenant %-8s status=%s k=%d ingested=%d\n", ti.Name, ti.Status, ti.K, ti.Ingested)
+	}
+	// Per-tenant assignment: the same query point lands on each tenant's
+	// own centers — the clusterings are fully isolated.
+	for _, t := range []string{"eu", "us"} {
+		var ar struct {
+			Snapshot struct {
+				Centers int     `json:"centers"`
+				Radius  float64 `json:"radius"`
+			} `json:"snapshot"`
+		}
+		code, err := postJSONHeaders(base3+"/v1/assign",
+			map[string]string{"X-Kcenter-Tenant": t},
+			pointsBody{Points: [][]float64{{0, 0}}}, &ar)
+		if err != nil || code != http.StatusOK {
+			log.Fatalf("tenant %s assign: code %d err %v", t, code, err)
+		}
+		fmt.Printf("tenant %-8s serves %d centers within radius %.3f\n", t, ar.Snapshot.Centers, ar.Snapshot.Radius)
+	}
+	if err := hs3.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	// Shutdown checkpoints every tenant; each lands in its own file under
+	// tenants.ckpt.d/, restorable independently (a corrupt one would
+	// quarantine only that tenant on the next boot).
+	if _, err := srv3.Shutdown(ctx); err != nil && !errors.Is(err, kcenter.ErrNothingIngested) {
+		log.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "tenants.ckpt.d"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range entries {
+		fmt.Printf("per-tenant checkpoint: tenants.ckpt.d/%s\n", e.Name())
 	}
 
 	// Batch comparison, as in examples/streaming: the serving layer never

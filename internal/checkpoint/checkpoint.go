@@ -219,6 +219,39 @@ func Write(path string, snap *Snapshot) (err error) {
 	return nil
 }
 
+// Rotate shifts the checkpoint history at path one slot down, so the next
+// Write leaves the last keep checkpoints on disk as path.1 (newest) through
+// path.keep (oldest) for operator rollback: path.keep is removed,
+// path.i becomes path.(i+1), and the current file at path is duplicated
+// (hard link where the filesystem allows, byte copy otherwise) as path.1.
+// The live file at path is never moved or removed — a crash anywhere during
+// rotation leaves it intact and restorable — so Rotate composes with
+// Write's atomicity instead of weakening it. Callers serialize Rotate with
+// Write the way they serialize Writes (the server holds its per-tenant
+// checkpoint mutex across both). keep <= 0 is a no-op; a missing current
+// file just shifts the existing history.
+func Rotate(path string, keep int) {
+	if keep <= 0 {
+		return
+	}
+	_ = os.Remove(fmt.Sprintf("%s.%d", path, keep))
+	for i := keep - 1; i >= 1; i-- {
+		_ = os.Rename(fmt.Sprintf("%s.%d", path, i), fmt.Sprintf("%s.%d", path, i+1))
+	}
+	if _, err := os.Stat(path); err != nil {
+		return
+	}
+	slot := path + ".1"
+	if err := os.Link(path, slot); err == nil {
+		return
+	}
+	// No hard links (or a stale slot survived the Remove/Rename shuffle):
+	// fall back to a byte copy of the current checkpoint.
+	if data, err := os.ReadFile(path); err == nil {
+		_ = os.WriteFile(slot, data, 0o644)
+	}
+}
+
 // Read loads and verifies the checkpoint at path. It returns an error
 // wrapping fs.ErrNotExist when no checkpoint exists (a fresh start, not a
 // failure — callers distinguish it with errors.Is), ErrCorrupt when the file

@@ -86,8 +86,10 @@ func (s *Streaming) Add(p []float64) {
 // first threshold from their minimum pairwise distance.
 func (s *Streaming) addInitial(p []float64) {
 	// Exact duplicates never help; skipping them keeps r strictly positive.
-	for i := 0; i < s.initial.N; i++ {
-		if metric.SqDist(s.initial.At(i), p) == 0 {
+	// A zero minimum over the buffer is exactly "some buffered point
+	// coincides with p" (squared distances are non-negative).
+	if s.initial.N > 0 {
+		if _, sq := metric.NearestInRange(s.initial, 0, s.initial.N, p); sq == 0 {
 			return
 		}
 	}
@@ -96,12 +98,15 @@ func (s *Streaming) addInitial(p []float64) {
 		return
 	}
 	// First k+1 distinct points: r = (min pairwise distance)/2, so they are
-	// pairwise >= 2r and OPT >= r by pigeonhole.
+	// pairwise >= 2r and OPT >= r by pigeonhole. One kernel row per anchor
+	// replaces the per-pair SqDist loop (same pairs, same FP values).
 	minSq := math.Inf(1)
+	row := make([]float64, s.initial.N)
 	for i := 0; i < s.initial.N; i++ {
+		metric.SqDistsInto(row[i+1:], s.initial, i+1, s.initial.N, s.initial.At(i))
 		for j := i + 1; j < s.initial.N; j++ {
-			if sq := metric.SqDist(s.initial.At(i), s.initial.At(j)); sq < minSq {
-				minSq = sq
+			if row[j] < minSq {
+				minSq = row[j]
 			}
 		}
 	}
@@ -127,14 +132,10 @@ func (s *Streaming) double() {
 	merged := metric.NewDataset(0, s.dim)
 	for i := 0; i < s.centers.N; i++ {
 		p := s.centers.At(i)
-		keep := true
-		for j := 0; j < merged.N; j++ {
-			if metric.SqDist(p, merged.At(j)) <= sepSq {
-				keep = false
-				break
-			}
-		}
-		if keep {
+		// "Some retained center within 2r" is "the nearest retained center
+		// within 2r": one fused kernel scan over the merged set.
+		_, sq := metric.NearestInRange(merged, 0, merged.N, p)
+		if sq > sepSq {
 			merged.Append(p)
 		}
 	}
@@ -147,12 +148,11 @@ func (s *Streaming) coverSq() float64 {
 }
 
 func (s *Streaming) sqDistToCenters(p []float64) float64 {
-	best := math.Inf(1)
-	for i := 0; i < s.centers.N; i++ {
-		if sq := metric.SqDist(p, s.centers.At(i)); sq < best {
-			best = sq
-		}
-	}
+	// The steady-state hot path: one one-to-many kernel pass over the
+	// retained centers, bit-identical to the per-index SqDist loop it
+	// replaced (same accumulation order; NearestInRange returns +Inf on an
+	// empty set exactly as the loop's untouched best did).
+	_, best := metric.NearestInRange(s.centers, 0, s.centers.N, p)
 	return best
 }
 

@@ -1,0 +1,153 @@
+package coreset
+
+import (
+	"math"
+	"testing"
+
+	"kcenter/internal/dataset"
+	"kcenter/internal/metric"
+)
+
+// referenceStreaming is the pre-kernel formulation of the doubling
+// summarizer: per-index SqDist loops everywhere the kernel-backed
+// implementation now runs fused scans. The production Streaming must
+// reproduce its centers, threshold and doubling count bit for bit on any
+// stream.
+type referenceStreaming struct {
+	k, dim    int
+	r         float64
+	centers   *metric.Dataset
+	initial   *metric.Dataset
+	doublings int
+}
+
+func newReferenceStreaming(k, dim int) *referenceStreaming {
+	return &referenceStreaming{
+		k: k, dim: dim,
+		centers: metric.NewDataset(0, dim),
+		initial: metric.NewDataset(0, dim),
+	}
+}
+
+func (s *referenceStreaming) add(p []float64) {
+	if s.initial != nil {
+		for i := 0; i < s.initial.N; i++ {
+			if metric.SqDist(s.initial.At(i), p) == 0 {
+				return
+			}
+		}
+		s.initial.Append(p)
+		if s.initial.N < s.k+1 {
+			return
+		}
+		minSq := math.Inf(1)
+		for i := 0; i < s.initial.N; i++ {
+			for j := i + 1; j < s.initial.N; j++ {
+				if sq := metric.SqDist(s.initial.At(i), s.initial.At(j)); sq < minSq {
+					minSq = sq
+				}
+			}
+		}
+		s.r = math.Sqrt(minSq) / 2
+		s.centers = s.initial
+		s.initial = nil
+		for s.centers.N > s.k {
+			s.double()
+		}
+		return
+	}
+	best := math.Inf(1)
+	for i := 0; i < s.centers.N; i++ {
+		if sq := metric.SqDist(p, s.centers.At(i)); sq < best {
+			best = sq
+		}
+	}
+	c := 4 * s.r
+	if best <= c*c {
+		return
+	}
+	s.centers.Append(p)
+	for s.centers.N > s.k {
+		s.double()
+	}
+}
+
+func (s *referenceStreaming) double() {
+	if s.r == 0 {
+		s.r = math.SmallestNonzeroFloat64
+	}
+	s.r *= 2
+	s.doublings++
+	sepSq := 4 * s.r * s.r
+	merged := metric.NewDataset(0, s.dim)
+	for i := 0; i < s.centers.N; i++ {
+		p := s.centers.At(i)
+		keep := true
+		for j := 0; j < merged.N; j++ {
+			if metric.SqDist(p, merged.At(j)) <= sepSq {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			merged.Append(p)
+		}
+	}
+	s.centers = merged
+}
+
+// TestKernelIdentityVsReference pins the kernel rewrite: the streaming
+// summarizer's every observable — retained centers (coordinates and
+// order), threshold radius, doubling count, seen count — is bit-identical
+// to the per-index reference across workload shapes, including duplicate
+// points (the zero-distance skip) and the post-initial merge cascade.
+func TestKernelIdentityVsReference(t *testing.T) {
+	shapes := []struct {
+		name string
+		n, k int
+		gen  func(n int, seed uint64) *metric.Dataset
+	}{
+		{"unif-k5", 3000, 5, func(n int, seed uint64) *metric.Dataset {
+			return dataset.Unif(dataset.UnifConfig{N: n, Seed: seed}).Points
+		}},
+		{"gau-k12", 3000, 12, func(n int, seed uint64) *metric.Dataset {
+			return dataset.Gau(dataset.GauConfig{N: n, KPrime: 12, Seed: seed}).Points
+		}},
+		{"gau-k3-dup", 1500, 3, func(n int, seed uint64) *metric.Dataset {
+			ds := dataset.Gau(dataset.GauConfig{N: n, KPrime: 4, Seed: seed}).Points
+			// Exact duplicates exercise the zero-distance skip.
+			for i := 0; i < ds.N; i += 7 {
+				copy(ds.Data[i*ds.Dim:(i+1)*ds.Dim], ds.Data[:ds.Dim])
+			}
+			return ds
+		}},
+	}
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			ds := sh.gen(sh.n, 11)
+			got := NewStreaming(sh.k, ds.Dim)
+			want := newReferenceStreaming(sh.k, ds.Dim)
+			for i := 0; i < ds.N; i++ {
+				got.Add(ds.At(i))
+				want.add(ds.At(i))
+			}
+			if got.r != want.r {
+				t.Fatalf("threshold r: %v != %v", got.r, want.r)
+			}
+			if got.doublings != want.doublings {
+				t.Fatalf("doublings: %d != %d", got.doublings, want.doublings)
+			}
+			gc, wc := got.Centers(), want.centers
+			if len(gc) != wc.N {
+				t.Fatalf("center count: %d != %d", len(gc), wc.N)
+			}
+			for i := range gc {
+				for d := range gc[i] {
+					if gc[i][d] != wc.At(i)[d] {
+						t.Fatalf("center %d dim %d: %v != %v", i, d, gc[i][d], wc.At(i)[d])
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,419 @@
+// Multi-tenant isolation experiment: one tenant hammers the service with
+// concurrent ingest+assign traffic while a quiet tenant issues sparse
+// assign queries, and the measurement is what the noise does to the quiet
+// tenant's latency. Tenant isolation is structural (per-tenant ingesters,
+// queues, workers and snapshot caches share only the scheduler and the
+// listener), so the quiet tenant's p99 should move by queue-contention
+// noise — not collapse — when its neighbor goes hot.
+
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"kcenter/internal/metric"
+	"kcenter/internal/server"
+)
+
+// TenantServeSpec describes one multi-tenant isolation run.
+type TenantServeSpec struct {
+	// K is the per-tenant center budget.
+	K int
+	// Shards is the per-tenant ingestion shard count; 0 means 1.
+	Shards int
+	// HotClients is the number of concurrent client goroutines feeding the
+	// hot tenant; 0 means 4.
+	HotClients int
+	// HotPointsPerSec is the hot tenant's total offered ingest load in
+	// points per second, split across HotClients; 0 means 50000. A fixed
+	// offered load (rather than closed-loop saturation) is what makes the
+	// isolation ratio meaningful: the hot tenant is a heavy live feed, and
+	// the question is what that feed does to a quiet neighbor — not how a
+	// fully saturated CPU schedules two starved workloads.
+	HotPointsPerSec int
+	// Batch is the points per ingest request and the queries per assign
+	// request; 0 means 256.
+	Batch int
+	// QuietAssigns is how many sparse assign requests the quiet tenant
+	// issues per phase (solo, then contended); 0 means 200.
+	QuietAssigns int
+}
+
+// TenantServeMeasurement is the outcome of one isolation run. All
+// latencies are milliseconds.
+type TenantServeMeasurement struct {
+	// QuietSoloP50/P99: the quiet tenant's assign latency with the service
+	// otherwise idle — the baseline.
+	QuietSoloP50, QuietSoloP99 float64
+	// QuietHotP50/P99: the same quiet-tenant queries while the hot tenant
+	// runs HotClients concurrent ingest+assign loops.
+	QuietHotP50, QuietHotP99 float64
+	// P99Ratio is QuietHotP99 / QuietSoloP99 — the isolation headline
+	// (1.0 = perfect isolation).
+	P99Ratio float64
+	// HotQPS and HotIngested report the interference load actually
+	// generated: completed hot requests per second and points ingested.
+	HotQPS      float64
+	HotIngested int64
+}
+
+// tenantClient posts batches with the tenant routing header.
+type tenantClient struct {
+	base   string
+	client *http.Client
+}
+
+func (tc *tenantClient) post(path, tenant string, pts [][]float64) (int, error) {
+	body, err := json.Marshal(struct {
+		Points [][]float64 `json:"points"`
+	}{pts})
+	if err != nil {
+		return 0, err
+	}
+	return tc.postRaw(path, tenant, body)
+}
+
+// postRaw posts a pre-marshaled body, so steady-state loops don't re-pay
+// client-side encoding on every request.
+func (tc *tenantClient) postRaw(path, tenant string, body []byte) (int, error) {
+	req, err := http.NewRequest(http.MethodPost, tc.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(server.TenantHeader, tenant)
+	resp, err := tc.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// warm seeds a tenant with one batch and waits until assigns answer 200.
+func (tc *tenantClient) warm(tenant string, seed [][]float64) error {
+	if code, err := tc.post("/v1/ingest", tenant, seed); err != nil || code != http.StatusAccepted {
+		return fmt.Errorf("seed ingest %s: code %d err %w", tenant, code, err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, err := tc.post("/v1/assign", tenant, seed[:1])
+		if err != nil {
+			return err
+		}
+		if code == http.StatusOK {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("warmup %s: assign still %d", tenant, code)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// quietPhase issues n sparse assign requests for the quiet tenant (a few
+// pre-marshaled 16-point query bodies, round-robin) and returns their
+// latencies in ms.
+func quietPhase(tc *tenantClient, bodies [][]byte, n int) ([]float64, error) {
+	ms := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		code, err := tc.postRaw("/v1/assign", "quiet", bodies[i%len(bodies)])
+		if err != nil {
+			return nil, err
+		}
+		if code != http.StatusOK {
+			return nil, fmt.Errorf("quiet assign: status %d", code)
+		}
+		ms = append(ms, float64(time.Since(t0).Microseconds())/1e3)
+		time.Sleep(time.Millisecond) // sparse, not saturating
+	}
+	return ms, nil
+}
+
+// marshalPoints pre-encodes a points body.
+func marshalPoints(pts [][]float64) ([]byte, error) {
+	return json.Marshal(struct {
+		Points [][]float64 `json:"points"`
+	}{pts})
+}
+
+// RunServeTenants starts a multi-tenant service over loopback HTTP, seeds
+// a quiet and a hot tenant from disjoint translates of ds, measures the
+// quiet tenant's assign latency solo, then re-measures it while HotClients
+// goroutines hammer the hot tenant with the rest of ds, and reports both
+// percentiles plus the generated interference load. The service is drained
+// and closed before returning.
+func RunServeTenants(ds *metric.Dataset, spec TenantServeSpec) (TenantServeMeasurement, error) {
+	shards := spec.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	hotClients := spec.HotClients
+	if hotClients <= 0 {
+		hotClients = 4
+	}
+	batch := spec.Batch
+	if batch <= 0 {
+		batch = 256
+	}
+	quietAssigns := spec.QuietAssigns
+	if quietAssigns <= 0 {
+		quietAssigns = 200
+	}
+	hotRate := spec.HotPointsPerSec
+	if hotRate <= 0 {
+		hotRate = 50_000
+	}
+
+	// The experiment process doubles as server and client fleet, and its
+	// live heap is a few MB — at the default GOGC that means a GC cycle
+	// every couple of MB of HTTP request garbage (~10/s under load), whose
+	// 1 P mark phases would dominate the quiet tenant's p99 on small hosts
+	// and measure the collector, not the tenancy. Run the measurement at
+	// the heap target a latency-sensitive serving deployment would use.
+	oldGC := debug.SetGCPercent(400)
+	defer debug.SetGCPercent(oldGC)
+
+	svc, err := server.New(server.Config{
+		K: spec.K, Shards: shards, MaxBatch: batch, MaxTenants: 4, QueueDepth: 64,
+	})
+	if err != nil {
+		return TenantServeMeasurement{}, err
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Close(context.Background())
+
+	tc := &tenantClient{base: ts.URL, client: &http.Client{Timeout: 60 * time.Second}}
+
+	// Disjoint regions per tenant: the quiet tenant's world is ds shifted
+	// far away, so any cross-tenant leakage would also corrupt its centers,
+	// not just its latency.
+	seedN := batch
+	if seedN > ds.N {
+		seedN = ds.N
+	}
+	quietPts := make([][]float64, seedN)
+	hotSeed := make([][]float64, seedN)
+	for i := 0; i < seedN; i++ {
+		p := ds.At(i)
+		q := make([]float64, len(p))
+		copy(q, p)
+		q[0] += 1e6
+		quietPts[i] = q
+		hotSeed[i] = p
+	}
+	if err := tc.warm("quiet", quietPts); err != nil {
+		return TenantServeMeasurement{}, err
+	}
+	if err := tc.warm("hot", hotSeed); err != nil {
+		return TenantServeMeasurement{}, err
+	}
+
+	// The quiet tenant's sparse workload: a handful of pre-marshaled
+	// 16-point query bodies, so the measurement is the request path, not
+	// client-side encoding.
+	quietBodies := make([][]byte, 0, 8)
+	for lo := 0; lo+16 <= len(quietPts) && len(quietBodies) < 8; lo += 16 {
+		b, err := marshalPoints(quietPts[lo : lo+16])
+		if err != nil {
+			return TenantServeMeasurement{}, err
+		}
+		quietBodies = append(quietBodies, b)
+	}
+
+	// Phase 1: the quiet tenant alone.
+	solo, err := quietPhase(tc, quietBodies, quietAssigns)
+	if err != nil {
+		return TenantServeMeasurement{}, err
+	}
+
+	// Phase 2: the hot tenant runs its sustained feed while the quiet
+	// tenant repeats the identical sparse workload. Each hot client paces
+	// itself to its share of HotPointsPerSec (one ingest batch per
+	// interval plus, every 4th round, one assign against the live
+	// snapshot), so the hot tenant's queue, shards and snapshot cache
+	// churn continuously under a defined offered load. Isolation is
+	// structural — per-tenant queues, workers and caches — and the fixed
+	// rate is what lets the measurement show it instead of dissolving into
+	// CPU-scheduling noise when the host is smaller than the load.
+	rest := ds.N - seedN
+	chunk := (rest + hotClients - 1) / hotClients
+	var wg sync.WaitGroup
+	hotErr := make([]error, hotClients)
+	var hotRequests int64
+	var reqMu sync.Mutex
+	stop := make(chan struct{})
+	start := time.Now()
+	for c := 0; c < hotClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &tenantClient{base: ts.URL, client: &http.Client{Timeout: 60 * time.Second}}
+			reqs := int64(0)
+			defer func() {
+				reqMu.Lock()
+				hotRequests += reqs
+				reqMu.Unlock()
+			}()
+			lo, hi := seedN+c*chunk, seedN+(c+1)*chunk
+			if hi > ds.N {
+				hi = ds.N
+			}
+			// Pre-marshal this client's ingest bodies once; the loop
+			// re-feeds them (the summarizer discards covered points, so
+			// re-ingestion is the steady-state regime, exactly what a
+			// long-lived hot feed looks like). The periodic assign probe
+			// uses a small 32-point body: a live feed ingests far more
+			// than it queries, and the probe is there to keep the hot
+			// tenant's snapshot path churning, not to benchmark it.
+			var bodies [][]byte
+			var probe []byte
+			for b := lo; b < hi; b += batch {
+				be := b + batch
+				if be > hi {
+					be = hi
+				}
+				pts := make([][]float64, 0, be-b)
+				for i := b; i < be; i++ {
+					pts = append(pts, ds.At(i))
+				}
+				body, err := marshalPoints(pts)
+				if err != nil {
+					hotErr[c] = err
+					return
+				}
+				bodies = append(bodies, body)
+				if probe == nil {
+					n := 32
+					if n > len(pts) {
+						n = len(pts)
+					}
+					if probe, err = marshalPoints(pts[:n]); err != nil {
+						hotErr[c] = err
+						return
+					}
+				}
+			}
+			// This client's share of the offered load, as a send interval,
+			// phase-staggered across clients so the fleet offers a smooth
+			// arrival stream instead of synchronized convoys (a convoy is
+			// a property of the load generator, not of the service under
+			// test).
+			interval := time.Duration(float64(batch) / (float64(hotRate) / float64(hotClients)) * float64(time.Second))
+			stagger := interval * time.Duration(c) / time.Duration(hotClients)
+			select {
+			case <-stop:
+				return
+			case <-time.After(stagger):
+			}
+			next := time.Now()
+			for round := 0; ; round++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := bodies[round%len(bodies)]
+				if code, err := client.postRaw("/v1/ingest", "hot", body); err != nil {
+					hotErr[c] = err
+					return
+				} else if code != http.StatusAccepted && code != http.StatusTooManyRequests {
+					hotErr[c] = fmt.Errorf("hot ingest status %d", code)
+					return
+				}
+				reqs++
+				if round%4 == 0 {
+					if code, err := client.postRaw("/v1/assign", "hot", probe); err != nil {
+						hotErr[c] = err
+						return
+					} else if code != http.StatusOK {
+						hotErr[c] = fmt.Errorf("hot assign status %d", code)
+						return
+					}
+					reqs++
+				}
+				next = next.Add(interval)
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				} else {
+					next = time.Now() // over capacity: don't accumulate debt
+				}
+			}
+		}(c)
+	}
+	contended, err := quietPhase(tc, quietBodies, quietAssigns)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		return TenantServeMeasurement{}, err
+	}
+	for _, e := range hotErr {
+		if e != nil {
+			return TenantServeMeasurement{}, e
+		}
+	}
+
+	m := TenantServeMeasurement{
+		QuietSoloP50: percentile(solo, 0.50),
+		QuietSoloP99: percentile(solo, 0.99),
+		QuietHotP50:  percentile(contended, 0.50),
+		QuietHotP99:  percentile(contended, 0.99),
+		HotQPS:       float64(hotRequests) / elapsed,
+	}
+	if m.QuietSoloP99 > 0 {
+		m.P99Ratio = m.QuietHotP99 / m.QuietSoloP99
+	}
+	// The hot tenant's ingested total, read from its per-tenant stats.
+	var st struct {
+		IngestedPoints int64 `json:"ingested_points"`
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/stats", nil)
+	req.Header.Set(server.TenantHeader, "hot")
+	if resp, err := tc.client.Do(req); err == nil {
+		_ = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		m.HotIngested = st.IngestedPoints
+	}
+	return m, nil
+}
+
+func init() {
+	registry = append(registry, Experiment{
+		ID:    "serve-tenants",
+		Title: "Multi-tenant isolation: a quiet tenant's assign latency vs a hot neighbor",
+		Paper: "Not in the paper — extension: independent shard-and-merge clusterings multiplexed over one server",
+		Run: func(cfg RunConfig, w io.Writer) error {
+			cfg = cfg.withDefaults()
+			n := cfg.scaled(200_000)
+			ds := genGau(25)(n, cfg.Seed)
+			fmt.Fprintf(w, "GAU k'=25 n=%d, k=25, shards=4 per tenant, batch=256, 4 hot clients; quiet tenant latencies in ms\n", n)
+			fmt.Fprintf(w, "%12s %10s %10s %10s %10s %10s %10s %14s\n",
+				"hot-pts/s", "solo-p50", "solo-p99", "hot-p50", "hot-p99", "p99-ratio", "hot-QPS", "hot-ingested")
+			for _, rate := range []int{25_000, 50_000, 100_000} {
+				m, err := RunServeTenants(ds, TenantServeSpec{
+					K: 25, Shards: 4, HotClients: 4, HotPointsPerSec: rate, QuietAssigns: 800,
+				})
+				if err != nil {
+					return fmt.Errorf("hot-pts/s=%d: %w", rate, err)
+				}
+				fmt.Fprintf(w, "%12d %10.3f %10.3f %10.3f %10.3f %10.2f %10.0f %14d\n",
+					rate, m.QuietSoloP50, m.QuietSoloP99, m.QuietHotP50, m.QuietHotP99,
+					m.P99Ratio, m.HotQPS, m.HotIngested)
+			}
+			return nil
+		},
+	})
+}

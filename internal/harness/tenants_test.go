@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kcenter/internal/dataset"
+)
+
+func TestRunServeTenantsIsolation(t *testing.T) {
+	ds := dataset.Gau(dataset.GauConfig{N: 4000, KPrime: 10, Seed: 21}).Points
+	m, err := RunServeTenants(ds, TenantServeSpec{
+		K: 10, Shards: 2, HotClients: 2, Batch: 200, QuietAssigns: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.QuietSoloP50 <= 0 || m.QuietHotP50 <= 0 {
+		t.Fatalf("quiet latencies not measured: %+v", m)
+	}
+	if m.QuietSoloP99 < m.QuietSoloP50 || m.QuietHotP99 < m.QuietHotP50 {
+		t.Fatalf("p99 below p50: %+v", m)
+	}
+	if m.P99Ratio <= 0 {
+		t.Fatalf("isolation ratio not computed: %+v", m)
+	}
+	if m.HotQPS <= 0 || m.HotIngested <= 0 {
+		t.Fatalf("interference load not generated: %+v", m)
+	}
+}
+
+func TestServeTenantsExperimentRegistered(t *testing.T) {
+	e, ok := ByID("serve-tenants")
+	if !ok {
+		t.Fatal("serve-tenants experiment not registered")
+	}
+	var buf bytes.Buffer
+	// Scale all the way down so the registry experiment stays test-sized.
+	if err := e.Run(RunConfig{Scale: 200, Repeats: 1, Seed: 3}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"hot-pts/s", "solo-p99", "hot-p99", "p99-ratio"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("experiment output missing %q:\n%s", want, out)
+		}
+	}
+}

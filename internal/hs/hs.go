@@ -54,14 +54,16 @@ func Run(ds *metric.Dataset, k int) *Result {
 		return &Result{Centers: centers, Radius: 0}
 	}
 
-	// Candidate thresholds: all pairwise distances (squared; monotone).
-	cand := make([]float64, 0, n*(n-1)/2)
+	// Candidate thresholds: all pairwise distances (squared; monotone),
+	// one fused kernel row per anchor instead of n-1 per-index SqDist
+	// calls — same pairs, same FP accumulation order, same values.
+	cand := make([]float64, n*(n-1)/2)
 	var evals int64
+	off := 0
 	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			cand = append(cand, ds.SqDist(i, j))
-			evals++
-		}
+		metric.SqDistsInto(cand[off:off+n-i-1], ds, i+1, n, ds.At(i))
+		off += n - i - 1
+		evals += int64(n - i - 1)
 	}
 	sort.Float64s(cand)
 	// Dedupe to shrink the search space.
@@ -102,7 +104,11 @@ func Run(ds *metric.Dataset, k int) *Result {
 
 // greedySeparated greedily picks uncovered points as centers, covering
 // everything within 2r of each pick (squared threshold sqR). It returns nil
-// when more than k centers are needed.
+// when more than k centers are needed. The uncovered suffix is gathered
+// into a contiguous scratch dataset so the distances come from one fused
+// kernel pass per pick — the same gather pattern as the outliers and
+// k-median loops — while the evaluation count stays exactly the per-index
+// loop's (one evaluation per uncovered point).
 func greedySeparated(ds *metric.Dataset, sqR float64, k int) ([]int, int64) {
 	n := ds.N
 	covered := make([]bool, n)
@@ -110,6 +116,9 @@ func greedySeparated(ds *metric.Dataset, sqR float64, k int) ([]int, int64) {
 	var evals int64
 	// Covering radius 2r: squared threshold (2r)² = 4·r².
 	cover := 4 * sqR
+	idx := make([]int, 0, n)
+	scratch := metric.NewDataset(n, ds.Dim)
+	dists := make([]float64, n)
 	for i := 0; i < n; i++ {
 		if covered[i] {
 			continue
@@ -118,18 +127,32 @@ func greedySeparated(ds *metric.Dataset, sqR float64, k int) ([]int, int64) {
 			return nil, evals // a (k+1)-th uncovered point exists
 		}
 		centers = append(centers, i)
-		pi := ds.At(i)
+		idx = idx[:0]
 		for j := i; j < n; j++ {
-			if covered[j] {
-				continue
+			if !covered[j] {
+				idx = append(idx, j)
 			}
-			evals++
-			if metric.SqDist(pi, ds.At(j)) <= cover {
+		}
+		gather(scratch, ds, idx)
+		metric.SqDistsInto(dists[:len(idx)], scratch, 0, len(idx), ds.At(i))
+		evals += int64(len(idx))
+		for u, j := range idx {
+			if dists[u] <= cover {
 				covered[j] = true
 			}
 		}
 	}
 	return centers, evals
+}
+
+// gather copies the rows named by idx into the head of dst (reused across
+// picks; dst must have capacity for len(idx) rows).
+func gather(dst, src *metric.Dataset, idx []int) {
+	dim := src.Dim
+	for u, j := range idx {
+		copy(dst.Data[u*dim:(u+1)*dim], src.Data[j*dim:(j+1)*dim])
+	}
+	dst.N = len(idx)
 }
 
 func uniqueSorted(xs []float64) []float64 {

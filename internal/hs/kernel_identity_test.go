@@ -1,0 +1,127 @@
+package hs
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"kcenter/internal/core"
+	"kcenter/internal/dataset"
+	"kcenter/internal/metric"
+)
+
+// referenceRun is the pre-kernel Hochbaum–Shmoys formulation: per-index
+// ds.SqDist loops for the candidate thresholds and the greedy cover. The
+// kernel-backed Run must reproduce its centers, radius, threshold and
+// distance-evaluation count exactly (same pairs in the same order, same
+// binary-search trajectory, same per-uncovered-point eval accounting).
+func referenceRun(ds *metric.Dataset, k int) *Result {
+	n := ds.N
+	cand := make([]float64, 0, n*(n-1)/2)
+	var evals int64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			cand = append(cand, ds.SqDist(i, j))
+			evals++
+		}
+	}
+	sort.Float64s(cand)
+	cand = uniqueSorted(cand)
+
+	greedy := func(sqR float64) ([]int, int64) {
+		covered := make([]bool, n)
+		centers := make([]int, 0, k)
+		var e int64
+		cover := 4 * sqR
+		for i := 0; i < n; i++ {
+			if covered[i] {
+				continue
+			}
+			if len(centers) == k {
+				return nil, e
+			}
+			centers = append(centers, i)
+			pi := ds.At(i)
+			for j := i; j < n; j++ {
+				if covered[j] {
+					continue
+				}
+				e++
+				if metric.SqDist(pi, ds.At(j)) <= cover {
+					covered[j] = true
+				}
+			}
+		}
+		return centers, e
+	}
+
+	lo, hi := 0, len(cand)-1
+	bestCenters := []int(nil)
+	bestSq := math.Inf(1)
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		centers, e := greedy(cand[mid])
+		evals += e
+		if centers != nil {
+			bestCenters = centers
+			bestSq = cand[mid]
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if bestCenters == nil {
+		bestCenters = []int{0}
+		bestSq = cand[len(cand)-1]
+	}
+	radius, e := core.CoveringRadius(ds, bestCenters)
+	evals += e
+	return &Result{
+		Centers:   bestCenters,
+		Radius:    radius,
+		Threshold: math.Sqrt(bestSq),
+		DistEvals: evals,
+	}
+}
+
+// TestKernelIdentityVsReference pins the kernel rewrite of the bottleneck
+// search against the per-index reference implementation.
+func TestKernelIdentityVsReference(t *testing.T) {
+	shapes := []struct {
+		name string
+		n, k int
+		gen  func(n int, seed uint64) *metric.Dataset
+	}{
+		{"unif-k4", 160, 4, func(n int, seed uint64) *metric.Dataset {
+			return dataset.Unif(dataset.UnifConfig{N: n, Seed: seed}).Points
+		}},
+		{"gau-k7", 220, 7, func(n int, seed uint64) *metric.Dataset {
+			return dataset.Gau(dataset.GauConfig{N: n, KPrime: 7, Seed: seed}).Points
+		}},
+		{"gau-k1", 90, 1, func(n int, seed uint64) *metric.Dataset {
+			return dataset.Gau(dataset.GauConfig{N: n, KPrime: 3, Seed: seed}).Points
+		}},
+	}
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			ds := sh.gen(sh.n, 5)
+			got := Run(ds, sh.k)
+			want := referenceRun(ds, sh.k)
+			if got.Radius != want.Radius || got.Threshold != want.Threshold {
+				t.Fatalf("radius/threshold: %v/%v != %v/%v",
+					got.Radius, got.Threshold, want.Radius, want.Threshold)
+			}
+			if got.DistEvals != want.DistEvals {
+				t.Fatalf("dist evals: %d != %d", got.DistEvals, want.DistEvals)
+			}
+			if len(got.Centers) != len(want.Centers) {
+				t.Fatalf("center count: %d != %d", len(got.Centers), len(want.Centers))
+			}
+			for i := range got.Centers {
+				if got.Centers[i] != want.Centers[i] {
+					t.Fatalf("center %d: index %d != %d", i, got.Centers[i], want.Centers[i])
+				}
+			}
+		})
+	}
+}

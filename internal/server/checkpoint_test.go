@@ -290,11 +290,19 @@ func TestLoadShedding(t *testing.T) {
 	}
 	s := &Service{
 		cfg:     cfg,
-		sh:      sh,
-		queue:   make(chan [][]float64, cfg.QueueDepth),
+		tenants: make(map[string]*tenant),
 		done:    make(chan struct{}),
 		started: time.Now(),
 	}
+	s.tenant = &tenant{
+		name:   DefaultTenant,
+		k:      cfg.K,
+		shards: 1,
+		svc:    s,
+		sh:     sh,
+		queue:  make(chan [][]float64, cfg.QueueDepth),
+	}
+	s.tenants[DefaultTenant] = s.tenant
 	s.routes()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -335,9 +343,13 @@ func TestSheddingDisabledBlocksOnContext(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := &Service{
-		cfg:   cfg,
+		cfg:  cfg,
+		done: make(chan struct{}),
+	}
+	s.tenant = &tenant{
+		name:  DefaultTenant,
+		svc:   s,
 		queue: make(chan [][]float64, cfg.QueueDepth),
-		done:  make(chan struct{}),
 	}
 	batch := [][]float64{{1, 2}}
 	if err := s.enqueue(context.Background(), batch); err != nil {

@@ -1,26 +1,102 @@
 // HTTP handlers and the /v1 wire format. All bodies are JSON; errors are
 // {"error": "..."} with a meaningful status code: 400 malformed input or
-// dimension mismatch, 404 unknown route, 405 wrong method, 409 querying
-// before any data has been ingested, 413 batch over the configured limit,
-// 429 (with Retry-After) batch shed at the ingest-queue watermark, 503
-// shutting down or client-side timeout while the queue was full.
+// dimension mismatch, 404 unknown route or unknown tenant, 405 wrong
+// method, 409 querying before any data has been ingested, conflicting
+// tenant shape headers, or a tenant quarantined by a failed restore, 413
+// batch over the configured limit, 429 (with Retry-After) batch shed at
+// the ingest-queue watermark or tenant creation past the cap, 503 shutting
+// down or client-side timeout while the queue was full.
+//
+// Tenant routing (wire-format v1.1, additive): the X-Kcenter-Tenant header
+// names the tenant a request operates on; POST bodies may carry the same
+// name in a "tenant" field and GETs in a ?tenant= query parameter (the
+// header wins; an explicit disagreement is 400). Requests that name no
+// tenant hit the implicit default tenant with responses byte-identical to
+// the single-tenant wire format. A first ingest contact may pin the new
+// tenant's shape with X-Kcenter-K and X-Kcenter-Shards.
 
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
+	"sync"
 	"time"
+)
+
+// pointsPool recycles decoded point batches across requests. encoding/json
+// decodes an array into an existing slice by resetting its length and
+// re-filling elements in place, reusing both the outer backing array and
+// each row's capacity — so after warmup the ingest/assign decode path
+// allocates almost nothing, and the GC pauses that per-request batch
+// allocations cause (visible as cross-tenant p99 noise on small hosts)
+// disappear. Ownership is linear: the handler owns the batch until it
+// either hands it to the tenant's queue (the ingest worker recycles after
+// copying into the shard slabs) or finishes the response.
+var pointsPool sync.Pool
+
+func getPointsBuf() [][]float64 {
+	if v := pointsPool.Get(); v != nil {
+		return v.([][]float64)[:0]
+	}
+	return nil
+}
+
+// Pool retention caps: outlier requests near the body byte limit must not
+// park multi-MB buffers in the pools indefinitely (the pooling exists to
+// make GCs rarer, so the pools drain slowly). Oversized buffers are
+// dropped back to the GC instead of pooled.
+const (
+	maxPooledPoints    = 1 << 13 // rows retained in a pooled batch
+	maxPooledBodyBytes = 1 << 20
+)
+
+func putPointsBuf(pts [][]float64) {
+	if cap(pts) > 0 && cap(pts) <= maxPooledPoints {
+		pointsPool.Put(pts[:0])
+	}
+}
+
+// bodyBufPool recycles request-body read buffers for the same reason: a
+// per-request json.Decoder allocates an internal buffer that grows to the
+// body size and dies with the request. Reading into a pooled buffer and
+// unmarshalling from it keeps the decode path allocation-flat.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func putBodyBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledBodyBytes {
+		bodyBufPool.Put(buf)
+	}
+}
+
+// Routing headers (wire-format v1.1).
+const (
+	// TenantHeader routes a request to a named tenant; absent means the
+	// default tenant.
+	TenantHeader = "X-Kcenter-Tenant"
+	// TenantKHeader pins a lazily created tenant's center budget at first
+	// ingest contact; on later requests it must match the pinned value
+	// (409 otherwise).
+	TenantKHeader = "X-Kcenter-K"
+	// TenantShardsHeader pins a lazily created tenant's shard count at
+	// first ingest contact, like TenantKHeader.
+	TenantShardsHeader = "X-Kcenter-Shards"
 )
 
 // ingestRequest is the POST /v1/ingest body.
 type ingestRequest struct {
 	// Points holds the batch, one row per point, all rows the same
-	// dimension (and the same dimension as every previous batch).
+	// dimension (and the same dimension as every previous batch of the
+	// tenant).
 	Points [][]float64 `json:"points"`
+	// Tenant optionally names the tenant in-band, equivalent to the
+	// X-Kcenter-Tenant header (which wins on disagreement).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // ingestResponse acknowledges an accepted batch. Acceptance means the batch
@@ -28,17 +104,18 @@ type ingestRequest struct {
 type ingestResponse struct {
 	// Accepted is the number of points queued from this batch.
 	Accepted int `json:"accepted"`
-	// PendingBatches is the queue depth after this batch, a congestion
-	// signal producers can throttle on.
+	// PendingBatches is the tenant's queue depth after this batch, a
+	// congestion signal producers can throttle on.
 	PendingBatches int64 `json:"pending_batches"`
-	// IngestedTotal is the number of points handed to the clustering so
-	// far, across all batches.
+	// IngestedTotal is the number of points handed to the tenant's
+	// clustering so far, across all batches.
 	IngestedTotal int64 `json:"ingested_total"`
 }
 
 // assignRequest is the POST /v1/assign body.
 type assignRequest struct {
 	Points [][]float64 `json:"points"`
+	Tenant string      `json:"tenant,omitempty"`
 }
 
 // snapshotMeta identifies the consistent snapshot a response was computed
@@ -95,7 +172,60 @@ type shardStats struct {
 	Doublings int `json:"doublings"`
 }
 
-// statsResponse is the GET /v1/stats reply.
+// tenantInfo is one tenant's entry in the GET /v1/tenants listing (and the
+// per-tenant summary inside the aggregate stats view).
+type tenantInfo struct {
+	// Name is the tenant name ("default" for the implicit tenant).
+	Name string `json:"name"`
+	// Status is "active", or "failed" for a tenant quarantined by a
+	// checkpoint that did not restore.
+	Status string `json:"status"`
+	// Error is the typed restore failure for a failed tenant.
+	Error string `json:"error,omitempty"`
+	// K and Shards are the tenant's pinned shape; Dim its pinned point
+	// dimensionality (0 until first ingest).
+	K      int `json:"k"`
+	Shards int `json:"shards"`
+	Dim    int `json:"dim"`
+	// IngestedPoints / AssignPoints are the tenant's lifetime counters.
+	IngestedPoints int64 `json:"ingested_points"`
+	AssignPoints   int64 `json:"assign_points"`
+	// Centers is the tenant's current retained center count across shards
+	// (pre-merge; the merged snapshot has at most k).
+	Centers int `json:"centers"`
+	// CentersVersion is the tenant's live center-set version counter.
+	CentersVersion uint64 `json:"centers_version"`
+	// CheckpointPath is the tenant's checkpoint file, when persistence is
+	// configured.
+	CheckpointPath string `json:"checkpoint_path,omitempty"`
+	// CreatedUnixNano is when this process created (or restored) the
+	// tenant.
+	CreatedUnixNano int64 `json:"created_unix_nano"`
+}
+
+// tenantsResponse is the GET /v1/tenants reply.
+type tenantsResponse struct {
+	// MaxTenants is the lazy-creation cap (0: multi-tenancy disabled).
+	MaxTenants int `json:"max_tenants"`
+	// Tenants lists every registered tenant, default first, then by name.
+	Tenants []tenantInfo `json:"tenants"`
+}
+
+// aggregateStats sums the headline counters across every tenant, for the
+// multi-tenant default stats view.
+type aggregateStats struct {
+	Tenants        int   `json:"tenants"`
+	FailedTenants  int   `json:"failed_tenants"`
+	MaxTenants     int   `json:"max_tenants"`
+	AcceptedPoints int64 `json:"accepted_points"`
+	IngestedPoints int64 `json:"ingested_points"`
+	AssignPoints   int64 `json:"assign_points"`
+	ShedPoints     int64 `json:"shed_points"`
+}
+
+// statsResponse is the GET /v1/stats reply. The tenant/tenants/aggregate
+// fields appear only in multi-tenant mode, so the single-tenant reply is
+// byte-identical to the pre-tenancy wire format.
 type statsResponse struct {
 	K               int     `json:"k"`
 	Shards          int     `json:"shards"`
@@ -128,6 +258,14 @@ type statsResponse struct {
 	RestoredPoints int64         `json:"restored_points"`
 	Snapshot       *snapshotMeta `json:"snapshot,omitempty"`
 	PerShard       []shardStats  `json:"per_shard,omitempty"`
+	// Tenant names the tenant this reply describes (multi-tenant mode
+	// only; the fields above are always one tenant's view).
+	Tenant string `json:"tenant,omitempty"`
+	// Tenants and Aggregate summarize the whole registry; they are
+	// attached only to the implicit default view (no tenant named) in
+	// multi-tenant mode.
+	Tenants   []tenantInfo    `json:"tenants,omitempty"`
+	Aggregate *aggregateStats `json:"aggregate,omitempty"`
 }
 
 // errorResponse is every non-2xx body.
@@ -141,6 +279,7 @@ func (s *Service) routes() {
 	s.mux.HandleFunc("/v1/assign", s.handleAssign)
 	s.mux.HandleFunc("/v1/centers", s.handleCenters)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/tenants", s.handleTenants)
 	// Catch-all so unknown routes honor the JSON error contract instead of
 	// the default text/plain 404 page.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -158,13 +297,148 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorResponse{Error: msg})
 }
 
-// decodeBatch decodes and validates a points batch shared by ingest and
-// assign: well-formed JSON, 1..MaxBatch points, every point non-empty with
-// finite coordinates and a consistent dimension. wantDim > 0 additionally
-// pins the dimension (the service's first-seen one); wantDim == 0 accepts
-// the batch's own first row as the reference. It writes the error response
+// requestTenant extracts the tenant name a request carries out-of-band:
+// the routing header, or the ?tenant= query parameter. Empty means "the
+// default tenant" (or, for POSTs, "check the body field").
+func requestTenant(r *http.Request) string {
+	if name := r.Header.Get(TenantHeader); name != "" {
+		return name
+	}
+	return r.URL.Query().Get("tenant")
+}
+
+// mergeTenantName combines every way a request can name its tenant — the
+// routing header, the ?tenant= query parameter and a body's in-band
+// "tenant" field: any explicit disagreement is an error (a stale source
+// silently losing would read or write the wrong tenant's data), and all
+// empty means the default tenant.
+func mergeTenantName(w http.ResponseWriter, r *http.Request, bodyName string) (string, bool) {
+	hdr := r.Header.Get(TenantHeader)
+	q := r.URL.Query().Get("tenant")
+	if hdr != "" && q != "" && hdr != q {
+		writeError(w, http.StatusBadRequest,
+			"tenant header "+strconv.Quote(hdr)+" disagrees with query tenant "+strconv.Quote(q))
+		return "", false
+	}
+	name := hdr
+	if name == "" {
+		name = q
+	}
+	switch {
+	case name == "":
+		name = bodyName
+	case bodyName != "" && bodyName != name:
+		writeError(w, http.StatusBadRequest,
+			"tenant header "+strconv.Quote(name)+" disagrees with body tenant "+strconv.Quote(bodyName))
+		return "", false
+	}
+	if name == "" {
+		name = DefaultTenant
+	}
+	if !validTenantName(name) {
+		writeError(w, http.StatusBadRequest, "invalid tenant name "+strconv.Quote(name))
+		return "", false
+	}
+	return name, true
+}
+
+// resolveQuery maps a tenant name to its live tenant for the query
+// endpoints (assign/centers/stats): 404 for a name that does not exist,
+// 409 for a quarantined one. It writes the error response itself and
+// returns nil on failure.
+func (s *Service) resolveQuery(w http.ResponseWriter, name string) *tenant {
+	t, ok := s.lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown tenant "+strconv.Quote(name))
+		return nil
+	}
+	if t.failed != nil {
+		writeError(w, http.StatusConflict, "tenant "+strconv.Quote(name)+" unavailable: "+t.failed.Error())
+		return nil
+	}
+	return t
+}
+
+// shapeHeaders parses the optional X-Kcenter-K / X-Kcenter-Shards pinning
+// headers (0 = unspecified).
+func shapeHeaders(w http.ResponseWriter, r *http.Request) (k, shards int, ok bool) {
+	parse := func(h string) (int, bool) {
+		v := r.Header.Get(h)
+		if v == "" {
+			return 0, true
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, h+" must be a positive integer, got "+strconv.Quote(v))
+			return 0, false
+		}
+		return n, true
+	}
+	if k, ok = parse(TenantKHeader); !ok {
+		return 0, 0, false
+	}
+	if shards, ok = parse(TenantShardsHeader); !ok {
+		return 0, 0, false
+	}
+	return k, shards, true
+}
+
+// resolveIngest maps a tenant name to its tenant for ingestion, lazily
+// creating unknown tenants in multi-tenant mode: 404 unknown (single-tenant
+// mode), 409 conflicting shape headers or a quarantined tenant, 429 past
+// the MaxTenants cap. It writes the error response itself and returns nil
+// on failure.
+func (s *Service) resolveIngest(w http.ResponseWriter, r *http.Request, name string) *tenant {
+	wantK, wantShards, ok := shapeHeaders(w, r)
+	if !ok {
+		return nil
+	}
+	if t, ok := s.lookup(name); ok {
+		if t.failed != nil {
+			writeError(w, http.StatusConflict, "tenant "+strconv.Quote(name)+" unavailable: "+t.failed.Error())
+			return nil
+		}
+		if wantK > 0 && wantK != t.k {
+			writeError(w, http.StatusConflict,
+				"tenant "+strconv.Quote(name)+" has k="+strconv.Itoa(t.k)+", request pins k="+strconv.Itoa(wantK))
+			return nil
+		}
+		if wantShards > 0 && wantShards != t.shards {
+			writeError(w, http.StatusConflict,
+				"tenant "+strconv.Quote(name)+" has shards="+strconv.Itoa(t.shards)+", request pins shards="+strconv.Itoa(wantShards))
+			return nil
+		}
+		return t
+	}
+	if s.cfg.MaxTenants <= 0 {
+		writeError(w, http.StatusNotFound,
+			"unknown tenant "+strconv.Quote(name)+" (multi-tenancy is not enabled)")
+		return nil
+	}
+	t, err := s.createTenant(name, wantK, wantShards)
+	switch {
+	case err == nil:
+		return t
+	case errors.Is(err, errTenantCap):
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, errTenantConflict):
+		writeError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, errShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrTenantFailed):
+		writeError(w, http.StatusConflict, "tenant "+strconv.Quote(name)+" unavailable: "+err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+	return nil
+}
+
+// decodePoints decodes a points batch shared by ingest and assign and runs
+// the batch-level checks: well-formed JSON, 1..MaxBatch points. Per-point
+// validation happens in validatePoints once the tenant — whose pinned
+// dimension is the reference — is known. It writes the error response
 // itself and returns nil when the batch is rejected.
-func (s *Service) decodeBatch(w http.ResponseWriter, r *http.Request, wantDim int) [][]float64 {
+func (s *Service) decodePoints(w http.ResponseWriter, r *http.Request) *ingestRequest {
 	defer r.Body.Close()
 	// Cap the body BEFORE decoding so MaxBatch actually bounds memory: an
 	// over-limit body must not be materialized just to be counted. 4 KiB
@@ -172,8 +446,10 @@ func (s *Service) decodeBatch(w http.ResponseWriter, r *http.Request, wantDim in
 	// slack is generous for any legitimate batch.
 	limit := int64(s.cfg.MaxBatch)*4096 + 1<<20
 	body := http.MaxBytesReader(w, r.Body, limit)
-	var req ingestRequest // assignRequest has the same shape
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer putBodyBuf(buf)
+	if _, err := buf.ReadFrom(body); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			writeError(w, http.StatusRequestEntityTooLarge,
@@ -183,20 +459,37 @@ func (s *Service) decodeBatch(w http.ResponseWriter, r *http.Request, wantDim in
 		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
 		return nil
 	}
+	req := ingestRequest{Points: getPointsBuf()} // assignRequest has the same shape
+	if err := json.Unmarshal(buf.Bytes(), &req); err != nil {
+		putPointsBuf(req.Points)
+		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return nil
+	}
 	if len(req.Points) == 0 {
+		putPointsBuf(req.Points)
 		writeError(w, http.StatusBadRequest, "empty batch: need at least one point")
 		return nil
 	}
 	if len(req.Points) > s.cfg.MaxBatch {
+		putPointsBuf(req.Points)
 		writeError(w, http.StatusRequestEntityTooLarge,
 			"batch of "+strconv.Itoa(len(req.Points))+" points exceeds max_batch="+strconv.Itoa(s.cfg.MaxBatch))
 		return nil
 	}
+	return &req
+}
+
+// validatePoints runs the per-point checks: every point non-empty with
+// finite coordinates and a consistent dimension. wantDim > 0 additionally
+// pins the dimension (the tenant's first-seen one); wantDim == 0 accepts
+// the batch's own first row as the reference. It writes the error response
+// itself and returns false when the batch is rejected.
+func validatePoints(w http.ResponseWriter, points [][]float64, wantDim int) bool {
 	dim := wantDim
-	for i, p := range req.Points {
+	for i, p := range points {
 		if len(p) == 0 {
 			writeError(w, http.StatusBadRequest, "point "+strconv.Itoa(i)+" is empty")
-			return nil
+			return false
 		}
 		if dim == 0 {
 			dim = len(p)
@@ -204,41 +497,62 @@ func (s *Service) decodeBatch(w http.ResponseWriter, r *http.Request, wantDim in
 		if len(p) != dim {
 			writeError(w, http.StatusBadRequest,
 				"point "+strconv.Itoa(i)+" has dimension "+strconv.Itoa(len(p))+", want "+strconv.Itoa(dim))
-			return nil
+			return false
 		}
 		for _, v := range p {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				writeError(w, http.StatusBadRequest, "point "+strconv.Itoa(i)+" has a non-finite coordinate")
-				return nil
+				return false
 			}
 		}
 	}
-	return req.Points
+	return true
 }
-
-// serviceDim returns the first-seen dimensionality, or 0 when nothing has
-// been accepted yet.
-func (s *Service) serviceDim() int { return int(s.dim.Load()) }
 
 func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	batch := s.decodeBatch(w, r, s.serviceDim())
-	if batch == nil {
+	req := s.decodePoints(w, r)
+	if req == nil {
 		return
 	}
-	// Pin the service dimension on first contact; a concurrent first batch
+	batch := req.Points
+	// Batch-internal validation (consistent dimensions, finite
+	// coordinates) needs no tenant state and runs BEFORE resolution, so a
+	// garbage batch under a fresh tenant name is a plain 400 — it must not
+	// lazily create a tenant and permanently consume a MaxTenants slot.
+	if !validatePoints(w, batch, 0) {
+		putPointsBuf(batch)
+		return
+	}
+	name, ok := mergeTenantName(w, r, req.Tenant)
+	if !ok {
+		putPointsBuf(batch)
+		return
+	}
+	t := s.resolveIngest(w, r, name)
+	if t == nil {
+		putPointsBuf(batch)
+		return
+	}
+	// Pin the tenant dimension on first contact; a concurrent first batch
 	// of a different dimension loses the CAS and is re-validated against
-	// the winner.
+	// the winner. (The batch is internally consistent, so comparing its
+	// first row against the pinned dimension covers every row.)
 	d := int64(len(batch[0]))
-	if !s.dim.CompareAndSwap(0, d) && s.dim.Load() != d {
+	if !t.dim.CompareAndSwap(0, d) && t.dim.Load() != d {
+		putPointsBuf(batch)
 		writeError(w, http.StatusBadRequest,
-			"batch dimension "+strconv.Itoa(int(d))+", want "+strconv.Itoa(s.serviceDim()))
+			"batch dimension "+strconv.Itoa(int(d))+", want "+strconv.Itoa(t.dimInt()))
 		return
 	}
-	if err := s.enqueue(r.Context(), batch); err != nil {
+	n := len(batch)
+	// enqueue transfers batch ownership to the tenant's queue; the ingest
+	// worker recycles it after copying into the shard slabs.
+	if err := t.enqueue(r.Context(), batch); err != nil {
+		putPointsBuf(batch)
 		if errors.Is(err, errOverCapacity) {
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			writeError(w, http.StatusTooManyRequests, err.Error())
@@ -247,14 +561,14 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	s.acceptedPoints.Add(int64(len(batch)))
-	s.acceptedBatches.Add(1)
-	expstats.Add("accepted_points", int64(len(batch)))
+	t.acceptedPoints.Add(int64(n))
+	t.acceptedBatches.Add(1)
+	expstats.Add("accepted_points", int64(n))
 	expstats.Add("accepted_batches", 1)
 	writeJSON(w, http.StatusAccepted, ingestResponse{
-		Accepted:       len(batch),
-		PendingBatches: s.pendingBatches.Load(),
-		IngestedTotal:  s.ingestedPoints.Load(),
+		Accepted:       n,
+		PendingBatches: t.pendingBatches.Load(),
+		IngestedTotal:  t.ingestedPoints.Load(),
 	})
 }
 
@@ -273,16 +587,29 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	dim := s.serviceDim()
+	req := s.decodePoints(w, r)
+	if req == nil {
+		return
+	}
+	batch := req.Points
+	defer putPointsBuf(batch) // assign only reads the batch; recycle on every path
+	name, ok := mergeTenantName(w, r, req.Tenant)
+	if !ok {
+		return
+	}
+	t := s.resolveQuery(w, name)
+	if t == nil {
+		return
+	}
+	dim := t.dimInt()
 	if dim == 0 {
 		writeError(w, http.StatusConflict, "no points ingested yet")
 		return
 	}
-	batch := s.decodeBatch(w, r, dim)
-	if batch == nil {
+	if !validatePoints(w, batch, dim) {
 		return
 	}
-	qs, err := s.snapshot()
+	qs, err := t.snapshot()
 	if err != nil {
 		// Points accepted but none drained into a shard yet.
 		writeError(w, http.StatusConflict, "no centers yet: "+err.Error())
@@ -298,9 +625,9 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 		evals += e
 		resp.Assignments[i] = assignment{Center: c, Distance: math.Sqrt(sq)}
 	}
-	s.assignRequests.Add(1)
-	s.assignPoints.Add(int64(len(batch)))
-	s.distEvals.Add(evals)
+	t.assignRequests.Add(1)
+	t.assignPoints.Add(int64(len(batch)))
+	t.distEvals.Add(evals)
 	expstats.Add("assign_requests", 1)
 	expstats.Add("assign_points", int64(len(batch)))
 	expstats.Add("assign_dist_evals", evals)
@@ -312,7 +639,15 @@ func (s *Service) handleCenters(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	qs, err := s.snapshot()
+	name, ok := mergeTenantName(w, r, "")
+	if !ok {
+		return
+	}
+	t := s.resolveQuery(w, name)
+	if t == nil {
+		return
+	}
+	qs, err := t.snapshot()
 	if err != nil {
 		writeError(w, http.StatusConflict, "no centers yet: "+err.Error())
 		return
@@ -324,39 +659,102 @@ func (s *Service) handleCenters(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, centersResponse{Snapshot: meta(qs), Centers: centers})
 }
 
+// info summarizes one tenant for listings. Live counters are read from the
+// tenant's atomics and its ingester's per-shard read locks — cheap enough
+// to call per request, never a merge.
+func (t *tenant) info() tenantInfo {
+	ti := tenantInfo{
+		Name:            t.name,
+		Status:          "active",
+		K:               t.k,
+		Shards:          t.shards,
+		CheckpointPath:  t.ckptPath,
+		CreatedUnixNano: t.created.UnixNano(),
+	}
+	if t.failed != nil {
+		ti.Status = "failed"
+		ti.Error = t.failed.Error()
+		return ti
+	}
+	ti.Dim = t.dimInt()
+	ti.IngestedPoints = t.ingestedPoints.Load()
+	ti.AssignPoints = t.assignPoints.Load()
+	ti.CentersVersion = t.sh.CentersVersion()
+	for _, sh := range t.sh.PerShardStats() {
+		ti.Centers += sh.Centers
+	}
+	return ti
+}
+
+// tenantInfos lists every registered tenant, default first, then by name.
+func (s *Service) tenantInfos() []tenantInfo {
+	s.tmu.RLock()
+	all := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		all = append(all, t)
+	}
+	s.tmu.RUnlock()
+	sort.Slice(all, func(i, j int) bool { return tenantNameLess(all[i].name, all[j].name) })
+	out := make([]tenantInfo, len(all))
+	for i, t := range all {
+		out[i] = t.info()
+	}
+	return out
+}
+
+func (s *Service) handleTenants(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, tenantsResponse{
+		MaxTenants: s.cfg.MaxTenants,
+		Tenants:    s.tenantInfos(),
+	})
+}
+
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	resp := statsResponse{
-		K:               s.cfg.K,
-		Shards:          s.cfg.Shards,
-		Dim:             s.serviceDim(),
-		UptimeSeconds:   time.Since(s.started).Seconds(),
-		AcceptedPoints:  s.acceptedPoints.Load(),
-		AcceptedBatches: s.acceptedBatches.Load(),
-		PendingBatches:  s.pendingBatches.Load(),
-		IngestedPoints:  s.ingestedPoints.Load(),
-		AssignRequests:  s.assignRequests.Load(),
-		AssignPoints:    s.assignPoints.Load(),
-		DistEvals:       s.distEvals.Load(),
-		SnapshotBuilds:  s.snapshotBuilds.Load(),
-		ShedBatches:     s.shedBatches.Load(),
-		ShedPoints:      s.shedPoints.Load(),
-
-		CheckpointWrites:       s.ckptWrites.Load(),
-		CheckpointErrors:       s.ckptErrors.Load(),
-		LastCheckpointUnixNano: s.lastCkptUnix.Load(),
+	explicit := requestTenant(r)
+	name, ok := mergeTenantName(w, r, "")
+	if !ok {
+		return
 	}
-	if s.restored != nil {
-		resp.RestoredPoints = s.restored.Ingested
+	t := s.resolveQuery(w, name)
+	if t == nil {
+		return
+	}
+	resp := statsResponse{
+		K:               t.k,
+		Shards:          t.shards,
+		Dim:             t.dimInt(),
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		AcceptedPoints:  t.acceptedPoints.Load(),
+		AcceptedBatches: t.acceptedBatches.Load(),
+		PendingBatches:  t.pendingBatches.Load(),
+		IngestedPoints:  t.ingestedPoints.Load(),
+		AssignRequests:  t.assignRequests.Load(),
+		AssignPoints:    t.assignPoints.Load(),
+		DistEvals:       t.distEvals.Load(),
+		SnapshotBuilds:  t.snapshotBuilds.Load(),
+		ShedBatches:     t.shedBatches.Load(),
+		ShedPoints:      t.shedPoints.Load(),
+
+		CheckpointWrites:       t.ckptWrites.Load(),
+		CheckpointErrors:       t.ckptErrors.Load(),
+		LastCheckpointUnixNano: t.lastCkptUnix.Load(),
+	}
+	if t.restored != nil {
+		resp.RestoredPoints = t.restored.Ingested
 	}
 	// Per-shard state is read live (cheap per-shard read locks, no merge)
 	// so its counters stay consistent with ingested_points above instead of
 	// freezing at the last center change the way the cached snapshot does.
 	if resp.IngestedPoints > 0 {
-		for _, sh := range s.sh.PerShardStats() {
+		for _, sh := range t.sh.PerShardStats() {
 			resp.PerShard = append(resp.PerShard, shardStats{
 				Ingested:  sh.Ingested,
 				Centers:   sh.Centers,
@@ -367,9 +765,37 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	// The snapshot block, by contrast, deliberately describes the cached
 	// query view (what /v1/assign is answering against right now).
-	if qs, err := s.snapshot(); err == nil {
+	if qs, err := t.snapshot(); err == nil {
 		m := meta(qs)
 		resp.Snapshot = &m
+	}
+	// Multi-tenant extras: name the tenant this reply describes, and give
+	// the implicit default view the registry summary and aggregate totals.
+	// Single-tenant mode attaches none of this, keeping the original wire
+	// format byte for byte.
+	if s.cfg.MaxTenants > 0 {
+		resp.Tenant = t.name
+		if explicit == "" {
+			infos := s.tenantInfos()
+			agg := &aggregateStats{
+				Tenants:    len(infos),
+				MaxTenants: s.cfg.MaxTenants,
+			}
+			s.tmu.RLock()
+			for _, tn := range s.tenants {
+				if tn.failed != nil {
+					agg.FailedTenants++
+					continue
+				}
+				agg.AcceptedPoints += tn.acceptedPoints.Load()
+				agg.IngestedPoints += tn.ingestedPoints.Load()
+				agg.AssignPoints += tn.assignPoints.Load()
+				agg.ShedPoints += tn.shedPoints.Load()
+			}
+			s.tmu.RUnlock()
+			resp.Tenants = infos
+			resp.Aggregate = agg
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

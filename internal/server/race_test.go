@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"kcenter/internal/dataset"
 )
@@ -131,5 +132,102 @@ func TestConcurrentIngestAssignSnapshot(t *testing.T) {
 	}
 	if res.Ingested != int64(producers*chunk) {
 		t.Fatalf("final ingested %d, want %d", res.Ingested, producers*chunk)
+	}
+}
+
+// TestConcurrentTenantLifecycle is the multi-tenant -race gate: concurrent
+// workers create tenants lazily (racing on the same names), ingest and
+// assign against them, poll the registry and per-tenant stats, and force
+// checkpoints — all against one live service. Tenant isolation means none
+// of this may share unsynchronized state across tenants, and racing
+// creations of one name must converge on a single tenant.
+func TestConcurrentTenantLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestService(t, Config{
+		K: 6, Shards: 2, MaxTenants: 6, QueueDepth: 16,
+		CheckpointPath:     dir + "/serve.ckpt",
+		CheckpointInterval: 5 * time.Millisecond,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	n := 4000
+	if testing.Short() {
+		n = 1200
+	}
+	l := dataset.Gau(dataset.GauConfig{N: n, KPrime: 6, Seed: 31})
+	// Deliberate name races, plus the implicit default tenant in the mix.
+	names := []string{"t0", "t1", "t2", "t0", ""}
+
+	var wg sync.WaitGroup
+	for w, name := range names {
+		wg.Add(1)
+		go func(w int, name string) {
+			defer wg.Done()
+			lo, hi := w*(n/len(names)), (w+1)*(n/len(names))
+			for b := lo; b < hi; b += 40 {
+				be := b + 40
+				if be > hi {
+					be = hi
+				}
+				pts := make([][]float64, 0, be-b)
+				for i := b; i < be; i++ {
+					pts = append(pts, l.Points.At(i))
+				}
+				body, _ := json.Marshal(ingestRequest{Points: pts, Tenant: name})
+				resp, err := ts.Client().Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					t.Errorf("worker %d: ingest to %s status %d", w, name, resp.StatusCode)
+					return
+				}
+				// Interleave an assign against the same tenant; 409 is legal
+				// until its first point drains into a shard.
+				abody, _ := json.Marshal(assignRequest{Points: pts[:1], Tenant: name})
+				aresp, err := ts.Client().Post(ts.URL+"/v1/assign", "application/json", bytes.NewReader(abody))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				aresp.Body.Close()
+				if aresp.StatusCode != http.StatusOK && aresp.StatusCode != http.StatusConflict {
+					t.Errorf("worker %d: assign to %s status %d", w, name, aresp.StatusCode)
+					return
+				}
+			}
+		}(w, name)
+	}
+	// A registry poller and a checkpoint forcer race the workers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			for _, path := range []string{"/v1/tenants", "/v1/stats"} {
+				resp, err := ts.Client().Get(ts.URL + path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+			_ = s.CheckpointNow()
+		}
+	}()
+	wg.Wait()
+
+	var tl tenantsResponse
+	if resp := tenantGet(t, ts, "/v1/tenants", "", &tl); resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenants status %d", resp.StatusCode)
+	}
+	if len(tl.Tenants) != 4 { // default + t0 + t1 + t2, name races converged
+		t.Fatalf("registry has %d tenants, want 4: %+v", len(tl.Tenants), tl.Tenants)
+	}
+	ts.Close()
+	if _, err := s.Close(context.Background()); err != nil {
+		t.Fatal(err)
 	}
 }

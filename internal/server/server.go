@@ -1,51 +1,68 @@
 // Package server is the serving layer: an HTTP/JSON clustering service
-// that owns a live sharded streaming ingester (stream.Sharded) and answers
-// queries against consistent snapshots of the evolving clustering.
+// that multiplexes one or more independent clusterings — tenants — over a
+// single process. Each tenant owns a live sharded streaming ingester
+// (stream.Sharded) and answers queries against consistent snapshots of its
+// evolving clustering; requests route to a tenant via the X-Kcenter-Tenant
+// header (or the "tenant" body/query field), and requests that name no
+// tenant hit the implicit default tenant with responses byte-identical to
+// the original single-tenant wire format.
 //
 // The paper makes k-center fast enough to serve at scale; this package is
-// where that capacity meets traffic. Four endpoints:
+// where that capacity meets traffic. Five endpoints:
 //
 //	POST /v1/ingest   batched point ingestion. Batches are validated, then
-//	                  enqueued on a bounded queue consumed by an ingest
-//	                  worker that feeds the sharded summarizer; a full queue
-//	                  is the overload watermark — the handler waits up to
+//	                  enqueued on the tenant's bounded queue consumed by
+//	                  its ingest worker; a full queue is that tenant's
+//	                  overload watermark — the handler waits up to
 //	                  ShedAfter for space, then sheds the batch with 429 +
 //	                  Retry-After so persistently over-capacity producers
 //	                  get an explicit throttle instead of pinning handlers.
+//	                  First contact with an unknown tenant name creates it
+//	                  (multi-tenant mode, below the cap), pinning its k and
+//	                  shard count from the X-Kcenter-K / X-Kcenter-Shards
+//	                  headers or the configured defaults.
 //	POST /v1/assign   batch nearest-center assignment. All points of one
 //	                  request are assigned against a single cached snapshot
-//	                  (snapshot isolation), through the same adaptive
-//	                  kernels as batch evaluation: metric.Pruned above the
-//	                  pruning crossover, metric.NearestInRange below it.
-//	GET  /v1/centers  the current ≤ k center coordinates and certified
-//	                  coverage bounds.
-//	GET  /v1/stats    service counters (points, batches, distance
-//	                  evaluations), snapshot version and per-shard state
-//	                  (ingested, centers, doubling radius and level).
+//	                  of the tenant's clustering (snapshot isolation),
+//	                  through the same adaptive kernels as batch
+//	                  evaluation: metric.Pruned above the pruning
+//	                  crossover, metric.NearestInRange below it.
+//	GET  /v1/centers  the tenant's current ≤ k center coordinates and
+//	                  certified coverage bounds.
+//	GET  /v1/stats    per-tenant service counters (points, batches,
+//	                  distance evaluations), snapshot version and per-shard
+//	                  state; in multi-tenant mode the default view also
+//	                  carries a per-tenant summary and aggregate totals.
+//	GET  /v1/tenants  the tenant registry: every tenant's shape, counters,
+//	                  status (active or failed) and checkpoint file.
 //
-// Snapshot isolation and invalidation: Sharded.Snapshot() locks every shard
-// briefly and runs a Gonzalez merge, so the service caches the resulting
-// center set — plus its pruning matrix — keyed by Sharded.CentersVersion(),
-// which advances exactly when some shard's retained centers change. Most
-// pushes are discards that leave the centers untouched, so under steady
-// traffic the cache serves indefinitely and assignment costs no locking at
-// all; the first query after a center change rebuilds.
+// Tenant semantics: unknown tenants are 404 on query endpoints, lazily
+// created on ingest (multi-tenant mode only); a creation past MaxTenants is
+// 429; re-contact with conflicting shape headers — or any request to a
+// tenant quarantined by a failed restore — is 409. Tenant isolation is
+// structural: separate ingesters, queues, workers, snapshot caches and
+// checkpoint files, sharing only the Go scheduler and the HTTP listener.
 //
-// Shutdown is graceful: Close rejects new batches, drains the queued ones
-// into the shards, then flushes the ingester's final merged result. The
-// caller (the kcenter serve CLI) shuts the http.Server down first, so
-// in-flight handlers finish before the drain begins.
+// Shutdown is graceful: Close rejects new batches, drains every tenant's
+// queued ones into its shards, then flushes each ingester's final merged
+// result. The caller (the kcenter serve CLI) shuts the http.Server down
+// first, so in-flight handlers finish before the drain begins.
 //
-// Persistence (optional, via Config.CheckpointPath): the service restores
-// the clustering from its checkpoint on startup and persists it atomically
-// — in the background on CheckpointInterval whenever the center-set version
-// advanced, and once more after the graceful drain — so a restarted server
-// resumes the doubling algorithm exactly where it left off instead of
-// re-clustering from scratch. The checkpointed state is O(Shards·K); see
-// internal/checkpoint for the format and its corruption guarantees.
+// Persistence (optional, via Config.CheckpointPath): each tenant restores
+// its clustering from its own checkpoint file on startup and persists it
+// atomically — in the background on CheckpointInterval whenever its
+// center-set version advanced, and once more after the graceful drain. The
+// default tenant's file is CheckpointPath itself; other tenants compose as
+// independent <CheckpointPath>.d/<tenant>.ckpt files, so a corrupt file
+// fails that tenant (it is quarantined with a typed error) while every
+// sibling — and the server — resumes exactly. CheckpointKeep > 0
+// additionally retains the last N checkpoints per file (<path>.1 … <path>.N)
+// for operator rollback after a bad feed. See internal/checkpoint for the
+// format and its corruption guarantees.
 //
-// Cumulative process-wide counters are also published via expvar under the
-// "kcenter_server" map, so a standard /debug/vars handler exposes them.
+// Cumulative process-wide counters (summed across tenants) are also
+// published via expvar under the "kcenter_server" map, so a standard
+// /debug/vars handler exposes them.
 package server
 
 import (
@@ -56,29 +73,33 @@ import (
 	"io/fs"
 	"math"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"kcenter/internal/checkpoint"
 	"kcenter/internal/metric"
 	"kcenter/internal/stream"
 )
 
 // Config parameterizes a Service.
 type Config struct {
-	// K is the number of centers the clustering maintains. Required.
+	// K is the number of centers the default tenant's clustering maintains
+	// (and the default for lazily created tenants when DefaultK is 0).
+	// Required.
 	K int
-	// Shards is the number of concurrent ingestion shards; 0 means 1.
+	// Shards is the number of concurrent ingestion shards per tenant;
+	// 0 means 1. A new tenant may override it at creation with the
+	// X-Kcenter-Shards header.
 	Shards int
 	// Buffer is the per-shard channel depth; 0 means the stream default.
 	Buffer int
 	// MaxBatch caps the points accepted in one ingest or assign request;
 	// 0 means 4096. Larger batches get 413.
 	MaxBatch int
-	// QueueDepth bounds the ingest queue in batches; 0 means 64. The queue
-	// being full is the service's overload watermark: ingest handlers wait
-	// up to ShedAfter for space, then shed the batch with 429.
+	// QueueDepth bounds each tenant's ingest queue in batches; 0 means 64.
+	// The queue being full is that tenant's overload watermark: its ingest
+	// handlers wait up to ShedAfter for space, then shed the batch with 429.
 	QueueDepth int
 	// ShedAfter is how long an ingest handler waits at a full queue before
 	// shedding the batch with 429 + Retry-After. 0 means 1s. A negative
@@ -86,16 +107,34 @@ type Config struct {
 	// context expires (the pre-shedding backpressure behavior), which can
 	// pin every server thread on a persistently saturated queue.
 	ShedAfter time.Duration
-	// CheckpointPath, when non-empty, enables persistence: the service
-	// restores from the file on startup (if it exists) and checkpoints the
-	// clustering state to it periodically and on graceful Close, so a
-	// restarted server resumes with a warm clustering. The state written is
-	// O(Shards·K) regardless of ingest volume.
+	// CheckpointPath, when non-empty, enables persistence: each tenant
+	// restores from its checkpoint file on startup (if it exists) and
+	// checkpoints its clustering state periodically and on graceful Close,
+	// so a restarted server resumes every tenant warm. The default
+	// tenant's file is this path; other tenants write
+	// <path>.d/<tenant>.ckpt. Each state written is O(Shards·K) regardless
+	// of ingest volume.
 	CheckpointPath string
 	// CheckpointInterval is the background checkpoint period; 0 means 15s.
-	// Each tick writes only if the center-set version advanced since the
-	// last write, so quiet periods write nothing.
+	// Each tick writes only the tenants whose center-set version advanced
+	// since their last write, so quiet periods write nothing.
 	CheckpointInterval time.Duration
+	// CheckpointKeep retains the last N checkpoints per tenant as
+	// <path>.1 (newest) through <path>.N (oldest) so an operator can roll
+	// back after a bad feed (copy <path>.i over <path> and restart).
+	// 0 keeps no history: each write atomically replaces the previous.
+	CheckpointKeep int
+	// MaxTenants enables multi-tenant mode when > 0: requests may route to
+	// named tenants, and first ingest contact with an unknown name lazily
+	// creates it until MaxTenants tenants exist (the default tenant
+	// counts; tenants restored from checkpoints are exempt from the cap).
+	// 0 disables multi-tenancy — only the default tenant exists and named
+	// routing returns 404 — which is the byte-compatible single-tenant
+	// mode.
+	MaxTenants int
+	// DefaultK is the center budget for lazily created tenants that do not
+	// pin their own with the X-Kcenter-K header; 0 means K.
+	DefaultK int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -117,62 +156,45 @@ func (c Config) withDefaults() (Config, error) {
 	if c.CheckpointInterval <= 0 {
 		c.CheckpointInterval = 15 * time.Second
 	}
+	if c.CheckpointKeep < 0 {
+		c.CheckpointKeep = 0
+	}
+	if c.MaxTenants < 0 {
+		c.MaxTenants = 0
+	}
+	if c.DefaultK <= 0 {
+		c.DefaultK = c.K
+	}
 	return c, nil
 }
 
 // expstats publishes cumulative process-wide counters (summed over every
-// Service in the process) for standard expvar scraping.
+// Service and tenant in the process) for standard expvar scraping.
 var expstats = expvar.NewMap("kcenter_server")
 
 // Service is the HTTP clustering service. Create with New, mount Handler()
-// on an http.Server, and call Close exactly once to drain and flush.
+// on an http.Server, and call Close exactly once to drain and flush. The
+// embedded tenant is the implicit default tenant — the single-tenant
+// internals and wire format are literally the multi-tenant ones with one
+// tenant.
 type Service struct {
+	*tenant // the default tenant
+
 	cfg Config
-	sh  *stream.Sharded
 	mux *http.ServeMux
 
-	// queue carries validated ingest batches to the ingest worker. qmu makes
-	// the closed check and the channel send atomic with respect to Close
-	// closing the channel (same pattern as stream.Sharded.Push); done wakes
-	// handlers blocked on a full queue so Close never waits on them.
-	queue chan [][]float64
-	done  chan struct{}
-	qmu   sync.RWMutex
-	wg    sync.WaitGroup
+	// tenants is the registry, keyed by tenant name; it always contains
+	// DefaultTenant (the embedded tenant). tmu guards the map; each
+	// tenant's own state has its own synchronization.
+	tenants map[string]*tenant
+	tmu     sync.RWMutex
 
+	// done wakes handlers blocked on full queues and stops the checkpoint
+	// loop; closed marks the service shutting down for every tenant at
+	// once.
+	done   chan struct{}
+	wg     sync.WaitGroup
 	closed atomic.Bool
-	dim    atomic.Int64 // first-seen point dimensionality; 0 = none yet
-
-	// Counters, reported by /v1/stats and mirrored into expstats.
-	acceptedPoints  atomic.Int64 // points validated and queued
-	acceptedBatches atomic.Int64
-	pendingBatches  atomic.Int64 // queued but not yet pushed
-	ingestedPoints  atomic.Int64 // points handed to the sharded ingester
-	assignRequests  atomic.Int64
-	assignPoints    atomic.Int64
-	distEvals       atomic.Int64 // assignment distance evaluations
-	snapshotBuilds  atomic.Int64
-	shedBatches     atomic.Int64 // batches rejected with 429 at the queue watermark
-	shedPoints      atomic.Int64
-
-	// Checkpoint state: writes are serialized by ckptMu; lastCkptVersion
-	// remembers the center-set version of the last persisted snapshot so
-	// periodic sweeps skip writing when nothing changed (ckptEver
-	// distinguishes "never written" from "written at version 0").
-	ckptMu          sync.Mutex
-	ckptEver        atomic.Bool
-	lastCkptVersion atomic.Uint64
-	ckptWrites      atomic.Int64
-	ckptErrors      atomic.Int64
-	lastCkptUnix    atomic.Int64
-	restored        *RestoreSummary // nil on a cold start
-
-	// Snapshot cache: one entry, keyed by the sharded ingester's center
-	// version. Readers hit the atomic pointer lock-free; snapMu serializes
-	// rebuilds only, so a center change triggers exactly one merge, not a
-	// thundering herd.
-	snapMu sync.Mutex
-	snap   atomic.Pointer[querySnapshot]
 
 	started time.Time
 }
@@ -180,6 +202,9 @@ type Service struct {
 // RestoreSummary describes a successful warm start from a checkpoint, for
 // operator-facing "resumed from ..." reporting.
 type RestoreSummary struct {
+	// Tenant is the tenant the state belongs to (DefaultTenant for the
+	// single-tenant path).
+	Tenant string
 	// Path is the checkpoint file the state was restored from.
 	Path string
 	// Created is when the checkpoint was captured.
@@ -194,41 +219,50 @@ type RestoreSummary struct {
 	CentersVersion uint64
 }
 
-// New starts a Service: the sharded ingester (warm-started from the
-// configured checkpoint when one exists), the ingest worker that drains the
-// batch queue into it, and — when checkpointing is configured — the
-// background checkpoint loop.
+// New starts a Service: the default tenant's sharded ingester
+// (warm-started from the configured checkpoint when one exists), any
+// tenants found in the per-tenant checkpoint directory (multi-tenant
+// mode), the ingest workers that drain each batch queue, and — when
+// checkpointing is configured — the background checkpoint loop. A corrupt
+// default checkpoint fails construction (exactly as before multi-tenancy);
+// a corrupt per-tenant checkpoint quarantines only that tenant.
 func New(cfg Config) (*Service, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	sh, err := stream.NewSharded(stream.ShardedConfig{
-		K:      cfg.K,
-		Shards: cfg.Shards,
-		Buffer: cfg.Buffer,
-	})
-	if err != nil {
-		return nil, err
-	}
 	s := &Service{
 		cfg:     cfg,
-		sh:      sh,
-		queue:   make(chan [][]float64, cfg.QueueDepth),
+		tenants: make(map[string]*tenant),
 		done:    make(chan struct{}),
 		started: time.Now(),
 	}
-	if cfg.CheckpointPath != "" {
-		if err := s.restore(); err != nil {
+	def, err := s.newTenant(DefaultTenant, cfg.K, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	if def.ckptPath != "" {
+		if err := def.restore(); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			// Reap the shard goroutines NewSharded already started; the
 			// empty-stream error from Finish is expected and irrelevant.
-			_, _ = sh.Finish()
+			_, _ = def.sh.Finish()
+			return nil, err
+		}
+	}
+	s.tenant = def
+	s.tenants[DefaultTenant] = def
+	if cfg.MaxTenants > 0 && cfg.CheckpointPath != "" {
+		if err := s.restoreTenantDir(); err != nil {
+			for _, t := range s.liveTenants() {
+				_, _ = t.sh.Finish()
+			}
 			return nil, err
 		}
 	}
 	s.routes()
-	s.wg.Add(1)
-	go s.ingestLoop()
+	for _, t := range s.liveTenants() {
+		s.startTenant(t)
+	}
 	if cfg.CheckpointPath != "" {
 		s.wg.Add(1)
 		go s.checkpointLoop()
@@ -236,56 +270,45 @@ func New(cfg Config) (*Service, error) {
 	return s, nil
 }
 
-// Restored reports the warm start this service performed, or nil if it
-// started cold (no checkpoint configured, or none existed yet).
+// Restored reports the warm start the default tenant performed, or nil if
+// it started cold (no checkpoint configured, or none existed yet).
 func (s *Service) Restored() *RestoreSummary {
-	return s.restored
+	return s.tenant.restored
 }
 
-// restore warm-starts the ingester from the configured checkpoint. A missing
-// file is a cold start, not an error; anything else — corruption, a format
-// version this build does not read, or a state that does not match the
-// configuration — fails construction, because silently serving an empty
-// clustering when the operator asked for a resumed one loses data twice
-// (the warm state now, and the eventual overwrite of the checkpoint).
-func (s *Service) restore() error {
-	snap, err := checkpoint.Read(s.cfg.CheckpointPath)
-	if errors.Is(err, fs.ErrNotExist) {
-		return nil
+// TenantRestores reports every warm start the service performed, one entry
+// per tenant restored from its checkpoint (the default tenant included),
+// sorted by tenant name. Empty on a fully cold start. Quarantined tenants
+// do not appear — they restored nothing; see the /v1/tenants listing for
+// their typed failure.
+func (s *Service) TenantRestores() []*RestoreSummary {
+	s.tmu.RLock()
+	defer s.tmu.RUnlock()
+	var out []*RestoreSummary
+	for _, t := range s.tenants {
+		if t.restored != nil {
+			out = append(out, t.restored)
+		}
 	}
-	if err != nil {
-		return err
-	}
-	if err := snap.Restore(s.sh, ""); err != nil {
-		return err
-	}
-	s.dim.Store(int64(snap.Dim))
-	// The stats contract is that ingested_points covers the clustering's
-	// whole history, which now began before this process did.
-	s.ingestedPoints.Store(snap.Ingested)
-	s.ckptEver.Store(true)
-	s.lastCkptVersion.Store(snap.CentersVersion)
-	s.lastCkptUnix.Store(snap.CreatedUnixNano)
-	var centers int
-	for i := range snap.State.Shards {
-		centers += len(snap.State.Shards[i].Centers)
-	}
-	s.restored = &RestoreSummary{
-		Path:           s.cfg.CheckpointPath,
-		Created:        snap.Created(),
-		Ingested:       snap.Ingested,
-		Centers:        centers,
-		Dim:            snap.Dim,
-		CentersVersion: snap.CentersVersion,
-	}
-	return nil
+	sort.Slice(out, func(i, j int) bool { return tenantNameLess(out[i].Tenant, out[j].Tenant) })
+	return out
 }
 
-// checkpointLoop periodically persists the clustering state, writing only
-// when the center-set version has advanced since the last write so quiet
-// periods cost nothing. Write failures are counted (checkpoint_errors in
-// /v1/stats) and retried next tick; the previous checkpoint stays intact on
-// disk either way, because writes are atomic.
+// tenantNameLess is the one ordering every tenant listing uses: the default
+// tenant first, then lexicographic.
+func tenantNameLess(a, b string) bool {
+	if (a == DefaultTenant) != (b == DefaultTenant) {
+		return a == DefaultTenant
+	}
+	return a < b
+}
+
+// checkpointLoop periodically persists every tenant's clustering state,
+// writing only the tenants whose center-set version has advanced since
+// their last write so quiet tenants — and quiet periods — cost nothing.
+// Write failures are counted (checkpoint_errors in /v1/stats) and retried
+// next tick; the previous checkpoint stays intact on disk either way,
+// because writes are atomic.
 func (s *Service) checkpointLoop() {
 	defer s.wg.Done()
 	t := time.NewTicker(s.cfg.CheckpointInterval)
@@ -295,126 +318,47 @@ func (s *Service) checkpointLoop() {
 		case <-s.done:
 			return
 		case <-t.C:
-			if v := s.sh.CentersVersion(); s.ckptEver.Load() && v == s.lastCkptVersion.Load() {
-				continue
+			for _, tn := range s.liveTenants() {
+				if tn.ckptPath == "" {
+					continue
+				}
+				if v := tn.sh.CentersVersion(); tn.ckptEver.Load() && v == tn.lastCkptVersion.Load() {
+					continue
+				}
+				if tn.dim.Load() == 0 {
+					continue // nothing ever ingested: nothing worth persisting
+				}
+				_ = tn.writeCheckpoint()
 			}
-			if s.dim.Load() == 0 {
-				continue // nothing ever ingested: nothing worth persisting
-			}
-			_ = s.writeCheckpoint()
 		}
 	}
 }
 
-// CheckpointNow synchronously captures and persists the current clustering
-// state, regardless of whether the center-set version advanced. It is the
-// forced-flush entry point for tests, operational tooling and the restart
-// experiment; the periodic loop and graceful Close call the same writer. It
-// fails if the service was built without a CheckpointPath.
+// CheckpointNow synchronously captures and persists every tenant's current
+// clustering state, regardless of whether its center-set version advanced
+// (tenants that never ingested are skipped — there is nothing to persist).
+// It is the forced-flush entry point for tests, operational tooling and
+// the restart experiment; the periodic loop and graceful Close call the
+// same per-tenant writer. It fails if the service was built without a
+// CheckpointPath; per-tenant write failures are joined.
 func (s *Service) CheckpointNow() error {
 	if s.cfg.CheckpointPath == "" {
 		return fmt.Errorf("server: no checkpoint path configured")
 	}
-	return s.writeCheckpoint()
-}
-
-// writeCheckpoint captures and atomically persists the state. Serialized by
-// ckptMu so the periodic loop, CheckpointNow and the final flush in Close
-// never interleave, and lastCkptVersion always names the version on disk.
-func (s *Service) writeCheckpoint() error {
-	s.ckptMu.Lock()
-	defer s.ckptMu.Unlock()
-	snap := checkpoint.Capture(s.sh, "")
-	if err := checkpoint.Write(s.cfg.CheckpointPath, snap); err != nil {
-		s.ckptErrors.Add(1)
-		expstats.Add("checkpoint_errors", 1)
-		return err
+	var errs []error
+	for _, t := range s.liveTenants() {
+		if t.dim.Load() == 0 {
+			continue
+		}
+		if err := t.writeCheckpoint(); err != nil {
+			errs = append(errs, fmt.Errorf("tenant %s: %w", t.name, err))
+		}
 	}
-	s.ckptEver.Store(true)
-	s.lastCkptVersion.Store(snap.CentersVersion)
-	s.lastCkptUnix.Store(snap.CreatedUnixNano)
-	s.ckptWrites.Add(1)
-	expstats.Add("checkpoint_writes", 1)
-	return nil
+	return errors.Join(errs...)
 }
 
 // Handler returns the service's HTTP handler (the /v1 API).
 func (s *Service) Handler() http.Handler { return s.mux }
-
-// ingestLoop is the single ingest worker: it drains queued batches into the
-// sharded summarizer. One worker suffices — a Push is a copy plus a channel
-// send (~tens of ns); the shard goroutines do the clustering work.
-func (s *Service) ingestLoop() {
-	defer s.wg.Done()
-	for batch := range s.queue {
-		for _, p := range batch {
-			// Batches were validated at the handler, so Push cannot fail on
-			// dimensions; a failure here would mean Push-after-Finish, which
-			// the drain ordering in Close rules out.
-			if err := s.sh.Push(p); err == nil {
-				s.ingestedPoints.Add(1)
-				expstats.Add("ingested_points", 1)
-			}
-		}
-		s.pendingBatches.Add(-1)
-	}
-}
-
-// enqueue hands one validated batch to the ingest worker. A full queue is
-// the overload watermark: the handler waits up to ShedAfter for space, then
-// sheds with errOverCapacity (HTTP 429 + Retry-After) so producers that are
-// persistently over capacity get an explicit throttle signal instead of
-// pinning a handler indefinitely. It also fails when the service is shutting
-// down or when ctx is done first (client timeout or cancellation).
-func (s *Service) enqueue(ctx context.Context, batch [][]float64) error {
-	s.qmu.RLock()
-	defer s.qmu.RUnlock()
-	if s.closed.Load() {
-		return errShuttingDown
-	}
-	// Count the batch pending before the send so the worker's decrement
-	// (which may run the instant the send lands) can never observe — or
-	// expose via /v1/stats — a negative gauge.
-	s.pendingBatches.Add(1)
-	select {
-	case s.queue <- batch:
-		return nil
-	default:
-	}
-	if s.cfg.ShedAfter < 0 {
-		// Shedding disabled: block until space, shutdown or the request
-		// context expires.
-		select {
-		case s.queue <- batch:
-			return nil
-		case <-s.done:
-			s.pendingBatches.Add(-1)
-			return errShuttingDown
-		case <-ctx.Done():
-			s.pendingBatches.Add(-1)
-			return fmt.Errorf("ingest queue full: %w", ctx.Err())
-		}
-	}
-	shed := time.NewTimer(s.cfg.ShedAfter)
-	defer shed.Stop()
-	select {
-	case s.queue <- batch:
-		return nil
-	case <-s.done:
-		s.pendingBatches.Add(-1)
-		return errShuttingDown
-	case <-ctx.Done():
-		s.pendingBatches.Add(-1)
-		return fmt.Errorf("ingest queue full: %w", ctx.Err())
-	case <-shed.C:
-		s.pendingBatches.Add(-1)
-		s.shedBatches.Add(1)
-		s.shedPoints.Add(int64(len(batch)))
-		expstats.Add("shed_batches", 1)
-		expstats.Add("shed_points", int64(len(batch)))
-		return errOverCapacity
-	}
-}
 
 var errShuttingDown = fmt.Errorf("service is shutting down")
 
@@ -433,23 +377,38 @@ func (s *Service) retryAfterSeconds() int {
 	return secs
 }
 
-// Close drains and flushes the service: new batches are rejected, queued
-// batches are pushed into the shards, and the ingester's Finish merge runs,
-// returning the final clustering over everything ingested. When persistence
-// is configured, the fully drained state is checkpointed after the merge, so
-// the next start resumes from everything this process ingested. The HTTP
-// server should be shut down first so no handler is still producing. If ctx
-// expires mid-drain, Close returns its error and the final merge and
-// checkpoint are skipped (the last periodic checkpoint stays intact). A
-// failed final checkpoint returns both the merged result and the error.
+// Close drains and flushes the service: new batches are rejected, every
+// tenant's queued batches are pushed into its shards, and each ingester's
+// Finish merge runs. It returns the default tenant's final clustering over
+// everything it ingested (the single-tenant contract, unchanged). When
+// persistence is configured, each tenant's fully drained state is
+// checkpointed after its merge, so the next start resumes everything this
+// process ingested. The HTTP server should be shut down first so no
+// handler is still producing. If ctx expires mid-drain, Close returns its
+// error and the final merges and checkpoints are skipped (the last
+// periodic checkpoints stay intact). A failed final checkpoint — or a
+// non-default tenant's drain failure — is reported alongside the default
+// tenant's merged result.
 func (s *Service) Close(ctx context.Context) (*stream.Result, error) {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil, fmt.Errorf("server: Close called twice")
 	}
-	close(s.done) // wake handlers blocked on a full queue and stop the checkpoint loop
-	s.qmu.Lock()  // every enqueue holds the read side; none in flight now
-	close(s.queue)
-	s.qmu.Unlock()
+	close(s.done) // wake handlers blocked on full queues and stop the checkpoint loop
+	// Snapshot the registry: creation checks closed under tmu, so no
+	// tenant can appear after this read.
+	s.tmu.Lock()
+	all := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		if t.failed == nil {
+			all = append(all, t)
+		}
+	}
+	s.tmu.Unlock()
+	for _, t := range all {
+		t.qmu.Lock() // every enqueue holds the read side; none in flight now
+		close(t.queue)
+		t.qmu.Unlock()
+	}
 	drained := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -460,23 +419,42 @@ func (s *Service) Close(ctx context.Context) (*stream.Result, error) {
 	case <-ctx.Done():
 		return nil, fmt.Errorf("server: drain aborted: %w", ctx.Err())
 	}
-	res, err := s.sh.Finish()
-	if err != nil {
-		return nil, err
-	}
-	// The shard goroutines have exited, so this capture sees every drained
-	// point — the one moment a checkpoint is exhaustive by construction.
-	if s.cfg.CheckpointPath != "" {
-		if werr := s.writeCheckpoint(); werr != nil {
-			return res, fmt.Errorf("server: final checkpoint: %w", werr)
+	var defRes *stream.Result
+	var defErr error
+	var errs []error
+	for _, t := range all {
+		res, err := t.sh.Finish()
+		if t == s.tenant {
+			defRes, defErr = res, err
+		} else if err != nil && !errors.Is(err, stream.ErrEmpty) {
+			// A non-default tenant that ingested nothing has nothing to
+			// flush; any other failure must surface.
+			errs = append(errs, fmt.Errorf("tenant %s: %w", t.name, err))
+		}
+		// The shard goroutines have exited, so this capture sees every
+		// drained point — the one moment a checkpoint is exhaustive by
+		// construction.
+		if err == nil && t.ckptPath != "" {
+			if werr := t.writeCheckpoint(); werr != nil {
+				errs = append(errs, fmt.Errorf("server: final checkpoint (tenant %s): %w", t.name, werr))
+			}
 		}
 	}
-	return res, nil
+	if defErr != nil {
+		// Named tenants' drain/checkpoint failures must still surface even
+		// when the default tenant has nothing to flush (ErrEmpty); Join
+		// keeps both detectable with errors.Is.
+		if len(errs) == 0 {
+			return nil, defErr
+		}
+		return nil, errors.Join(append([]error{defErr}, errs...)...)
+	}
+	return defRes, errors.Join(errs...)
 }
 
-// querySnapshot is one cached consistent view of the clustering: the merged
-// ≤ k centers plus the prepared nearest-center kernel. It is immutable and
-// safe for concurrent readers.
+// querySnapshot is one cached consistent view of a tenant's clustering:
+// the merged ≤ k centers plus the prepared nearest-center kernel. It is
+// immutable and safe for concurrent readers.
 type querySnapshot struct {
 	version uint64
 	res     *stream.Result
@@ -494,35 +472,4 @@ func (q *querySnapshot) nearest(p []float64) (int, float64, int64) {
 	c := q.res.Centers
 	i, sq := metric.NearestInRange(c, 0, c.N, p)
 	return i, sq, int64(c.N)
-}
-
-// snapshot returns the cached consistent view, rebuilding it only when some
-// shard's center set has changed since the cached one was taken. The
-// steady-state read is lock-free (one atomic load after the version read);
-// snapMu is taken only around a rebuild, with the version re-checked under
-// it so racing readers trigger one merge, not one each. The version is read
-// before the merge, so the cached snapshot is at least as fresh as its key
-// and a concurrent center change at worst forces one extra rebuild.
-func (s *Service) snapshot() (*querySnapshot, error) {
-	v := s.sh.CentersVersion()
-	if qs := s.snap.Load(); qs != nil && qs.version == v {
-		return qs, nil
-	}
-	s.snapMu.Lock()
-	defer s.snapMu.Unlock()
-	if qs := s.snap.Load(); qs != nil && qs.version == v {
-		return qs, nil
-	}
-	res, err := s.sh.Snapshot()
-	if err != nil {
-		return nil, err
-	}
-	qs := &querySnapshot{version: v, res: res}
-	if metric.PreferPruned(res.Centers.N, res.Centers.Dim) {
-		qs.pruned = metric.NewPruned(res.Centers)
-	}
-	s.snap.Store(qs)
-	s.snapshotBuilds.Add(1)
-	expstats.Add("snapshot_builds", 1)
-	return qs, nil
 }

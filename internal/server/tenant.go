@@ -1,0 +1,552 @@
+// Per-tenant machinery. A tenant is one independent clustering multiplexed
+// over the service: its own sharded ingester, bounded ingest queue and
+// worker, pinned shape (k, shards, dimension), snapshot cache, counters and
+// checkpoint state. The default tenant — the one requests without a tenant
+// header hit — is embedded directly in Service, so the single-tenant wire
+// format and internals are exactly the multi-tenant ones with one tenant.
+
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sync"
+	"sync/atomic"
+
+	"kcenter/internal/checkpoint"
+	"kcenter/internal/metric"
+	"kcenter/internal/stream"
+)
+
+// DefaultTenant is the tenant requests without a routing header hit. It
+// always exists; its shape is the service Config's K and Shards, and its
+// checkpoint file is Config.CheckpointPath itself — so a single-tenant
+// deployment never sees tenant machinery on the wire or on disk.
+const DefaultTenant = "default"
+
+// ErrTenantFailed marks a quarantined tenant: its checkpoint failed to
+// restore at startup, so the tenant refuses traffic (HTTP 409) while every
+// other tenant serves normally. The wrapped cause is the typed restore
+// error (checkpoint.ErrCorrupt, checkpoint.ErrFormatVersion,
+// stream.ErrStateInvalid, ...). Detect with errors.Is.
+var ErrTenantFailed = errors.New("tenant restore failed")
+
+// errUnknownTenant reports a query for a tenant that does not exist; the
+// handler maps it to HTTP 404.
+var errUnknownTenant = errors.New("unknown tenant")
+
+// errTenantCap reports a lazy tenant creation refused at the MaxTenants
+// cap; the handler maps it to HTTP 429.
+var errTenantCap = errors.New("tenant cap reached")
+
+// errTenantConflict reports shape headers (or a lazily found checkpoint)
+// disagreeing with a tenant's pinned k/shards; the handler maps it to
+// HTTP 409.
+var errTenantConflict = errors.New("tenant shape conflict")
+
+// tenant is one isolated clustering: the unit the registry multiplexes.
+// All fields follow the same concurrency discipline they had when the
+// service was single-tenant (the default tenant IS this struct, embedded
+// in Service).
+type tenant struct {
+	name      string
+	k, shards int
+	svc       *Service
+	sh        *stream.Sharded
+	// ckptPath is this tenant's checkpoint file ("" when persistence is
+	// off): Config.CheckpointPath for the default tenant,
+	// <CheckpointPath>.d/<name>.ckpt for every other.
+	ckptPath string
+	created  time.Time
+
+	// queue carries validated ingest batches to this tenant's worker. qmu
+	// makes the service-closed check and the channel send atomic with
+	// respect to Close closing the channel (same pattern as
+	// stream.Sharded.Push); the service-wide done channel wakes handlers
+	// blocked on a full queue so Close never waits on them.
+	queue chan [][]float64
+	qmu   sync.RWMutex
+
+	dim atomic.Int64 // first-seen point dimensionality; 0 = none yet
+
+	// Counters, reported by /v1/stats (per tenant) and mirrored into the
+	// process-wide expvar map.
+	acceptedPoints  atomic.Int64 // points validated and queued
+	acceptedBatches atomic.Int64
+	pendingBatches  atomic.Int64 // queued but not yet pushed
+	ingestedPoints  atomic.Int64 // points handed to the sharded ingester
+	assignRequests  atomic.Int64
+	assignPoints    atomic.Int64
+	distEvals       atomic.Int64 // assignment distance evaluations
+	snapshotBuilds  atomic.Int64
+	shedBatches     atomic.Int64 // batches rejected with 429 at the queue watermark
+	shedPoints      atomic.Int64
+
+	// Checkpoint state: writes are serialized by ckptMu; lastCkptVersion
+	// remembers the center-set version of the last persisted snapshot so
+	// periodic sweeps skip writing when nothing changed (ckptEver
+	// distinguishes "never written" from "written at version 0").
+	ckptMu          sync.Mutex
+	ckptEver        atomic.Bool
+	lastCkptVersion atomic.Uint64
+	ckptWrites      atomic.Int64
+	ckptErrors      atomic.Int64
+	lastCkptUnix    atomic.Int64
+	restored        *RestoreSummary // nil on a cold start
+	// ckptWriteFailed (guarded by ckptMu) suppresses rotation while the
+	// last write attempt failed: retrying ticks must not keep shifting the
+	// rollback slots — each shift would replace the oldest genuine
+	// checkpoint with another copy of the unchanged live file, destroying
+	// the history exactly during the outage an operator needs it for.
+	ckptWriteFailed bool
+
+	// failed quarantines the tenant: its checkpoint did not restore, so it
+	// holds no ingester or queue and refuses traffic. The error wraps
+	// ErrTenantFailed plus the typed restore cause. Only tenants restored
+	// from the checkpoint directory can be born failed; it never changes
+	// after construction.
+	failed error
+
+	// Snapshot cache: one entry, keyed by this tenant's center version.
+	// Readers hit the atomic pointer lock-free; snapMu serializes rebuilds
+	// only, so a center change triggers exactly one merge per tenant, not
+	// a thundering herd.
+	snapMu sync.Mutex
+	snap   atomic.Pointer[querySnapshot]
+}
+
+// validTenantName reports whether name is a legal tenant name: 1–64
+// characters from [A-Za-z0-9._-], not starting with a dot or dash. The
+// charset is what keeps <name>.ckpt a safe file name inside the checkpoint
+// directory.
+func validTenantName(name string) bool {
+	if len(name) == 0 || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case (c == '.' || c == '_' || c == '-') && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// tenantCheckpointPath maps a tenant to its checkpoint file: the base path
+// for the default tenant, <base>.d/<name>.ckpt for every other — so
+// per-tenant checkpoints compose as independent files an operator can
+// inspect, back up or delete one tenant at a time.
+func tenantCheckpointPath(base, name string) string {
+	if name == DefaultTenant {
+		return base
+	}
+	return filepath.Join(base+".d", name+".ckpt")
+}
+
+// newTenant builds a tenant's machinery (ingester, queue) without
+// registering or starting it; the caller registers it under s.tmu and
+// starts the worker with startTenant.
+func (s *Service) newTenant(name string, k, shards int) (*tenant, error) {
+	if k <= 0 {
+		k = s.cfg.DefaultK
+	}
+	if shards <= 0 {
+		shards = s.cfg.Shards
+	}
+	sh, err := stream.NewSharded(stream.ShardedConfig{
+		K:      k,
+		Shards: shards,
+		Buffer: s.cfg.Buffer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &tenant{
+		name:    name,
+		k:       k,
+		shards:  shards,
+		svc:     s,
+		sh:      sh,
+		queue:   make(chan [][]float64, s.cfg.QueueDepth),
+		created: time.Now(),
+	}
+	if s.cfg.CheckpointPath != "" {
+		t.ckptPath = tenantCheckpointPath(s.cfg.CheckpointPath, name)
+	}
+	return t, nil
+}
+
+// startTenant launches the tenant's ingest worker under the service
+// wait-group. Callers must not start a tenant after Close began (creation
+// paths check s.closed under the registry lock).
+func (s *Service) startTenant(t *tenant) {
+	s.wg.Add(1)
+	go t.ingestLoop()
+}
+
+// lookup returns the registered tenant, if any. An empty name means the
+// default tenant.
+func (s *Service) lookup(name string) (*tenant, bool) {
+	if name == "" {
+		name = DefaultTenant
+	}
+	s.tmu.RLock()
+	t, ok := s.tenants[name]
+	s.tmu.RUnlock()
+	return t, ok
+}
+
+// liveTenants snapshots the registry's non-quarantined tenants, sorted
+// registration-order-free (map order); callers that present them sort by
+// name themselves.
+func (s *Service) liveTenants() []*tenant {
+	s.tmu.RLock()
+	defer s.tmu.RUnlock()
+	out := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		if t.failed == nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// createTenant lazily creates (or returns) the named tenant, enforcing the
+// MaxTenants cap. It is the only way tenants come into existence after
+// New: first ingest contact pins the tenant's shape (k, shards — the
+// dimension pins itself on the first batch, exactly as the default
+// tenant's does). If a checkpoint file for the name already exists (e.g. a
+// previous process ran with a larger cap), it is restored rather than
+// silently overwritten; a failed restore quarantines the name and returns
+// the typed error, because creating a fresh clustering over a corrupt
+// checkpoint would eventually clobber the operator's data.
+func (s *Service) createTenant(name string, k, shards int) (*tenant, error) {
+	// If a checkpoint file for the name already exists (e.g. a previous
+	// process ran with a larger cap, or the operator copied a backup in),
+	// it is restored rather than silently overwritten — and it, not the
+	// request, owns the tenant's shape: the ingester must be built with
+	// the checkpointed k/shards or the restore would spuriously mismatch.
+	// The disk probe runs BEFORE the registry lock: routing for every
+	// other tenant holds tmu's read side, and a file read under the write
+	// lock would turn one tenant's lazy restore into a cross-tenant
+	// latency spike. A racing creation at worst wastes one read.
+	var snap *checkpoint.Snapshot
+	var snapErr error
+	if s.cfg.CheckpointPath != "" {
+		if _, ok := s.lookup(name); !ok {
+			sn, err := checkpoint.Read(tenantCheckpointPath(s.cfg.CheckpointPath, name))
+			switch {
+			case err == nil:
+				snap = sn
+			case errors.Is(err, fs.ErrNotExist):
+			default:
+				snapErr = err
+			}
+		}
+	}
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	if t, ok := s.tenants[name]; ok {
+		// A racing creation won: hand back its tenant under the same
+		// contract resolveIngest enforces on the lookup path — a
+		// quarantined tenant refuses, conflicting shape headers refuse.
+		if t.failed != nil {
+			return nil, t.failed
+		}
+		if (k > 0 && k != t.k) || (shards > 0 && shards != t.shards) {
+			return nil, fmt.Errorf("%w: tenant %q has k=%d shards=%d, request pins k=%d shards=%d",
+				errTenantConflict, name, t.k, t.shards, k, shards)
+		}
+		return t, nil
+	}
+	if s.closed.Load() {
+		return nil, errShuttingDown
+	}
+	if len(s.tenants) >= s.cfg.MaxTenants {
+		return nil, fmt.Errorf("%w: %d tenants exist, max %d", errTenantCap, len(s.tenants), s.cfg.MaxTenants)
+	}
+	if snapErr != nil {
+		// Damaged file: quarantine the name rather than creating a fresh
+		// clustering that would eventually clobber it.
+		s.quarantine(name, snapErr)
+		return nil, s.tenants[name].failed
+	}
+	if snap != nil {
+		if (k > 0 && k != snap.K) || (shards > 0 && shards != snap.Shards) {
+			return nil, fmt.Errorf("%w: checkpointed tenant %q has k=%d shards=%d, request pins k=%d shards=%d",
+				errTenantConflict, name, snap.K, snap.Shards, k, shards)
+		}
+		k, shards = snap.K, snap.Shards
+	}
+	t, err := s.newTenant(name, k, shards)
+	if err != nil {
+		return nil, err
+	}
+	if snap != nil {
+		if err := t.restoreSnap(snap); err != nil {
+			_, _ = t.sh.Finish() // reap the shard goroutines
+			s.quarantine(name, err)
+			return nil, s.tenants[name].failed
+		}
+	}
+	s.tenants[name] = t
+	s.startTenant(t)
+	return t, nil
+}
+
+// restoreTenantDir scans <CheckpointPath>.d for per-tenant checkpoints and
+// restores each as a tenant. A tenant whose checkpoint is damaged is
+// quarantined — registered with a typed failure so its name, error and
+// on-disk file survive for the operator — while every healthy sibling
+// resumes exactly. Called from New before the registry serves traffic, so
+// no locking is needed. Restored tenants are exempt from the MaxTenants
+// cap: the cap gates new clusterings, never previously accepted data.
+func (s *Service) restoreTenantDir() error {
+	dir := s.cfg.CheckpointPath + ".d"
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("server: tenant checkpoint dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ckpt") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".ckpt")
+		if !validTenantName(name) || name == DefaultTenant {
+			continue // not a file this service wrote; leave it alone
+		}
+		path := filepath.Join(dir, e.Name())
+		snap, err := checkpoint.Read(path)
+		if err != nil {
+			s.quarantine(name, err)
+			continue
+		}
+		t, err := s.newTenant(name, snap.K, snap.Shards)
+		if err != nil {
+			s.quarantine(name, err)
+			continue
+		}
+		if err := t.restoreSnap(snap); err != nil {
+			_, _ = t.sh.Finish() // reap the shard goroutines
+			s.quarantine(name, err)
+			continue
+		}
+		s.tenants[name] = t // New starts every registered tenant's worker
+	}
+	return nil
+}
+
+// quarantine registers a failed tenant: present in listings with its typed
+// error, refusing traffic, never touching its checkpoint file.
+func (s *Service) quarantine(name string, cause error) {
+	s.tenants[name] = &tenant{
+		name:    name,
+		svc:     s,
+		created: time.Now(),
+		failed:  fmt.Errorf("%w: %w", ErrTenantFailed, cause),
+	}
+}
+
+// restore warm-starts the tenant from its checkpoint file. A missing file
+// propagates fs.ErrNotExist (callers treat it as a cold start).
+func (t *tenant) restore() error {
+	snap, err := checkpoint.Read(t.ckptPath)
+	if err != nil {
+		return err
+	}
+	return t.restoreSnap(snap)
+}
+
+// restoreSnap loads a decoded checkpoint into the tenant's fresh ingester
+// and primes the counters the stats contract derives from it.
+func (t *tenant) restoreSnap(snap *checkpoint.Snapshot) error {
+	if err := snap.Restore(t.sh, ""); err != nil {
+		return err
+	}
+	t.dim.Store(int64(snap.Dim))
+	// The stats contract is that ingested_points covers the clustering's
+	// whole history, which now began before this process did.
+	t.ingestedPoints.Store(snap.Ingested)
+	t.ckptEver.Store(true)
+	t.lastCkptVersion.Store(snap.CentersVersion)
+	t.lastCkptUnix.Store(snap.CreatedUnixNano)
+	var centers int
+	for i := range snap.State.Shards {
+		centers += len(snap.State.Shards[i].Centers)
+	}
+	t.restored = &RestoreSummary{
+		Tenant:         t.name,
+		Path:           t.ckptPath,
+		Created:        snap.Created(),
+		Ingested:       snap.Ingested,
+		Centers:        centers,
+		Dim:            snap.Dim,
+		CentersVersion: snap.CentersVersion,
+	}
+	return nil
+}
+
+// writeCheckpoint captures and atomically persists the tenant's state,
+// rotating prior checkpoints when CheckpointKeep asks for a rollback
+// window. Serialized by ckptMu so the periodic loop, CheckpointNow and the
+// final flush in Close never interleave, and lastCkptVersion always names
+// the version on disk.
+func (t *tenant) writeCheckpoint() error {
+	t.ckptMu.Lock()
+	defer t.ckptMu.Unlock()
+	if t.name != DefaultTenant {
+		// Per-tenant files live under <base>.d, created on first write.
+		if err := os.MkdirAll(filepath.Dir(t.ckptPath), 0o755); err != nil {
+			t.ckptErrors.Add(1)
+			expstats.Add("checkpoint_errors", 1)
+			return fmt.Errorf("server: tenant checkpoint dir: %w", err)
+		}
+	}
+	snap := checkpoint.Capture(t.sh, "")
+	if keep := t.svc.cfg.CheckpointKeep; keep > 0 && !t.ckptWriteFailed {
+		checkpoint.Rotate(t.ckptPath, keep)
+	}
+	if err := checkpoint.Write(t.ckptPath, snap); err != nil {
+		t.ckptWriteFailed = true
+		t.ckptErrors.Add(1)
+		expstats.Add("checkpoint_errors", 1)
+		return err
+	}
+	t.ckptWriteFailed = false
+	t.ckptEver.Store(true)
+	t.lastCkptVersion.Store(snap.CentersVersion)
+	t.lastCkptUnix.Store(snap.CreatedUnixNano)
+	t.ckptWrites.Add(1)
+	expstats.Add("checkpoint_writes", 1)
+	return nil
+}
+
+// ingestLoop is the tenant's single ingest worker: it drains queued
+// batches into the sharded summarizer. One worker per tenant suffices — a
+// Push is a copy plus a channel send (~tens of ns); the shard goroutines
+// do the clustering work, and separate workers keep one tenant's backlog
+// from ever queueing behind another's.
+func (t *tenant) ingestLoop() {
+	defer t.svc.wg.Done()
+	for batch := range t.queue {
+		// Batches were validated at the handler, so PushBatch cannot fail
+		// on dimensions; a failure here would mean Push-after-Finish, which
+		// the drain ordering in Close rules out. The batch goes to the
+		// shards as one striped slab per shard (O(shards) allocations and
+		// sends instead of O(points)) with routing identical to per-point
+		// pushes.
+		if err := t.sh.PushBatch(batch); err == nil {
+			t.ingestedPoints.Add(int64(len(batch)))
+			expstats.Add("ingested_points", int64(len(batch)))
+		}
+		t.pendingBatches.Add(-1)
+		putPointsBuf(batch) // PushBatch copied into shard slabs; recycle
+	}
+}
+
+// enqueue hands one validated batch to the tenant's ingest worker. A full
+// queue is the tenant's overload watermark: the handler waits up to
+// ShedAfter for space, then sheds with errOverCapacity (HTTP 429 +
+// Retry-After) so producers that are persistently over capacity get an
+// explicit throttle signal instead of pinning a handler indefinitely — and
+// since the queue, patience and counters are all per tenant, one tenant
+// saturating its queue sheds its own producers while every other tenant's
+// ingest path stays clear. It also fails when the service is shutting down
+// or when ctx is done first (client timeout or cancellation).
+func (t *tenant) enqueue(ctx context.Context, batch [][]float64) error {
+	t.qmu.RLock()
+	defer t.qmu.RUnlock()
+	if t.svc.closed.Load() {
+		return errShuttingDown
+	}
+	// Count the batch pending before the send so the worker's decrement
+	// (which may run the instant the send lands) can never observe — or
+	// expose via /v1/stats — a negative gauge.
+	t.pendingBatches.Add(1)
+	select {
+	case t.queue <- batch:
+		return nil
+	default:
+	}
+	if t.svc.cfg.ShedAfter < 0 {
+		// Shedding disabled: block until space, shutdown or the request
+		// context expires.
+		select {
+		case t.queue <- batch:
+			return nil
+		case <-t.svc.done:
+			t.pendingBatches.Add(-1)
+			return errShuttingDown
+		case <-ctx.Done():
+			t.pendingBatches.Add(-1)
+			return fmt.Errorf("ingest queue full: %w", ctx.Err())
+		}
+	}
+	shed := time.NewTimer(t.svc.cfg.ShedAfter)
+	defer shed.Stop()
+	select {
+	case t.queue <- batch:
+		return nil
+	case <-t.svc.done:
+		t.pendingBatches.Add(-1)
+		return errShuttingDown
+	case <-ctx.Done():
+		t.pendingBatches.Add(-1)
+		return fmt.Errorf("ingest queue full: %w", ctx.Err())
+	case <-shed.C:
+		t.pendingBatches.Add(-1)
+		t.shedBatches.Add(1)
+		t.shedPoints.Add(int64(len(batch)))
+		expstats.Add("shed_batches", 1)
+		expstats.Add("shed_points", int64(len(batch)))
+		return errOverCapacity
+	}
+}
+
+// dimInt returns the tenant's pinned dimensionality, or 0 when nothing has
+// been accepted yet.
+func (t *tenant) dimInt() int { return int(t.dim.Load()) }
+
+// snapshot returns the tenant's cached consistent view, rebuilding it only
+// when some shard's center set has changed since the cached one was taken.
+// The steady-state read is lock-free (one atomic load after the version
+// read); snapMu is taken only around a rebuild, with the version re-checked
+// under it so racing readers trigger one merge, not one each. The version
+// is read before the merge, so the cached snapshot is at least as fresh as
+// its key and a concurrent center change at worst forces one extra rebuild.
+func (t *tenant) snapshot() (*querySnapshot, error) {
+	v := t.sh.CentersVersion()
+	if qs := t.snap.Load(); qs != nil && qs.version == v {
+		return qs, nil
+	}
+	t.snapMu.Lock()
+	defer t.snapMu.Unlock()
+	if qs := t.snap.Load(); qs != nil && qs.version == v {
+		return qs, nil
+	}
+	res, err := t.sh.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	qs := &querySnapshot{version: v, res: res}
+	if metric.PreferPruned(res.Centers.N, res.Centers.Dim) {
+		qs.pruned = metric.NewPruned(res.Centers)
+	}
+	t.snap.Store(qs)
+	t.snapshotBuilds.Add(1)
+	expstats.Add("snapshot_builds", 1)
+	return qs, nil
+}

@@ -1,0 +1,567 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"kcenter/internal/checkpoint"
+	"kcenter/internal/stream"
+)
+
+func jsonMarshal(v any) (io.Reader, error) {
+	b, err := json.Marshal(v)
+	return bytes.NewReader(b), err
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func jsonDecode(resp *http.Response, out any) error {
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// tenantPost posts a JSON body with tenant routing headers.
+func tenantPost(t *testing.T, ts *httptest.Server, path, tenant string, hdr map[string]string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := jsonMarshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+path, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp, readAll(t, resp)
+}
+
+// tenantGet GETs a path with the tenant routing header.
+func tenantGet(t *testing.T, ts *httptest.Server, path, tenant string, out any) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := jsonDecode(resp, out); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+	}
+	return resp
+}
+
+// waitTenantDrained blocks until the named tenant's shards have consumed n
+// points.
+func waitTenantDrained(t *testing.T, s *Service, name string, n int64) {
+	t.Helper()
+	tn, ok := s.lookup(name)
+	if !ok {
+		t.Fatalf("tenant %q not registered", name)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var got int64
+		for _, sh := range tn.sh.PerShardStats() {
+			got += sh.Ingested
+		}
+		if got == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant %q consumed %d of %d points before timeout", name, got, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// shift translates points so tenants occupy disjoint regions, making
+// cross-tenant leakage visible in the centers.
+func shift(pts [][]float64, dx float64) [][]float64 {
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		out[i] = []float64{p[0] + dx, p[1]}
+	}
+	return out
+}
+
+func TestTenantRoutingAndLifecycle(t *testing.T) {
+	s := newTestService(t, Config{K: 4, MaxTenants: 3, DefaultK: 3})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	pts := genPoints(600, 51)
+
+	// No tenant named: the implicit default tenant, exactly as before.
+	ingestAll(t, ts, s, pts[:200], 100)
+
+	// First contact creates "alpha", pinning its own k via the header.
+	resp, body := tenantPost(t, ts, "/v1/ingest", "alpha",
+		map[string]string{TenantKHeader: "2"}, ingestRequest{Points: shift(pts[200:400], 1000)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create alpha: %d %s", resp.StatusCode, body)
+	}
+	// In-band routing: the body's tenant field creates "beta" with DefaultK.
+	resp, body = tenantPost(t, ts, "/v1/ingest", "", nil,
+		ingestRequest{Points: shift(pts[400:600], 2000), Tenant: "beta"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create beta: %d %s", resp.StatusCode, body)
+	}
+
+	// Cap reached (default + alpha + beta = MaxTenants): 429.
+	resp, body = tenantPost(t, ts, "/v1/ingest", "gamma", nil, ingestRequest{Points: pts[:1]})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap create: %d %s", resp.StatusCode, body)
+	}
+	// Unknown tenant on a query endpoint: 404, never lazy creation.
+	resp, body = tenantPost(t, ts, "/v1/assign", "delta", nil, assignRequest{Points: pts[:1]})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("assign unknown tenant: %d %s", resp.StatusCode, body)
+	}
+	// Conflicting shape header on an existing tenant: 409.
+	resp, body = tenantPost(t, ts, "/v1/ingest", "alpha",
+		map[string]string{TenantKHeader: "7"}, ingestRequest{Points: pts[:1]})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("conflicting k: %d %s", resp.StatusCode, body)
+	}
+	// Invalid tenant name: 400.
+	resp, body = tenantPost(t, ts, "/v1/ingest", "no/slashes", nil, ingestRequest{Points: pts[:1]})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid name: %d %s", resp.StatusCode, body)
+	}
+	// Header and body field disagreeing: 400.
+	resp, body = tenantPost(t, ts, "/v1/ingest", "alpha", nil,
+		ingestRequest{Points: pts[:1], Tenant: "beta"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("header/body disagreement: %d %s", resp.StatusCode, body)
+	}
+	// Header and query parameter disagreeing: 400, never a silent win.
+	if resp := tenantGet(t, ts, "/v1/centers?tenant=beta", "alpha", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("header/query disagreement: %d", resp.StatusCode)
+	}
+
+	waitTenantDrained(t, s, DefaultTenant, 200)
+	waitTenantDrained(t, s, "alpha", 200)
+	waitTenantDrained(t, s, "beta", 200)
+
+	// The registry listing: default first, correct shapes.
+	var tl tenantsResponse
+	if resp := tenantGet(t, ts, "/v1/tenants", "", &tl); resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenants status %d", resp.StatusCode)
+	}
+	if tl.MaxTenants != 3 || len(tl.Tenants) != 3 {
+		t.Fatalf("tenants listing: %+v", tl)
+	}
+	if tl.Tenants[0].Name != DefaultTenant || tl.Tenants[1].Name != "alpha" || tl.Tenants[2].Name != "beta" {
+		t.Fatalf("tenant order: %+v", tl.Tenants)
+	}
+	if tl.Tenants[0].K != 4 || tl.Tenants[1].K != 2 || tl.Tenants[2].K != 3 {
+		t.Fatalf("tenant shapes: %+v", tl.Tenants)
+	}
+	for _, ti := range tl.Tenants {
+		if ti.Status != "active" || ti.IngestedPoints != 200 {
+			t.Fatalf("tenant %s: %+v", ti.Name, ti)
+		}
+	}
+
+	// Isolation: each tenant's centers live in its own region, and k caps
+	// differ per tenant.
+	var calpha, cbeta centersResponse
+	tenantGet(t, ts, "/v1/centers", "alpha", &calpha)
+	if resp := getJSON(t, ts, "/v1/centers?tenant=beta", &cbeta); resp.StatusCode != http.StatusOK {
+		t.Fatalf("centers via query param: %d", resp.StatusCode)
+	}
+	if len(calpha.Centers) == 0 || len(calpha.Centers) > 2 {
+		t.Fatalf("alpha centers %d, want 1..2 (k=2)", len(calpha.Centers))
+	}
+	for _, c := range calpha.Centers {
+		if c[0] < 900 {
+			t.Fatalf("alpha center %v outside alpha's region", c)
+		}
+	}
+	for _, c := range cbeta.Centers {
+		if c[0] < 1900 {
+			t.Fatalf("beta center %v outside beta's region", c)
+		}
+	}
+
+	// Per-tenant stats, and the aggregate view on the implicit default.
+	var stAlpha statsResponse
+	tenantGet(t, ts, "/v1/stats", "alpha", &stAlpha)
+	if stAlpha.Tenant != "alpha" || stAlpha.K != 2 || stAlpha.IngestedPoints != 200 {
+		t.Fatalf("alpha stats: %+v", stAlpha)
+	}
+	if stAlpha.Tenants != nil || stAlpha.Aggregate != nil {
+		t.Fatal("explicit tenant stats should not carry the registry summary")
+	}
+	var stDef statsResponse
+	tenantGet(t, ts, "/v1/stats", "", &stDef)
+	if stDef.Tenant != DefaultTenant || stDef.IngestedPoints != 200 {
+		t.Fatalf("default stats: %+v", stDef)
+	}
+	if len(stDef.Tenants) != 3 || stDef.Aggregate == nil {
+		t.Fatalf("default stats missing registry summary: %+v", stDef)
+	}
+	if stDef.Aggregate.IngestedPoints != 600 || stDef.Aggregate.Tenants != 3 {
+		t.Fatalf("aggregate: %+v", stDef.Aggregate)
+	}
+
+	// Per-tenant dimension pinning: alpha is 2-D, a 3-D batch to alpha is
+	// rejected while a fresh tenant could still pick its own.
+	resp, body = tenantPost(t, ts, "/v1/ingest", "alpha", nil,
+		ingestRequest{Points: [][]float64{{1, 2, 3}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("alpha dim mismatch: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestSingleTenantModeRejectsNamedTenants(t *testing.T) {
+	s := newTestService(t, Config{K: 3})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, body := tenantPost(t, ts, "/v1/ingest", "alpha", nil,
+		ingestRequest{Points: [][]float64{{1, 2}}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("named tenant in single-tenant mode: %d %s", resp.StatusCode, body)
+	}
+	// Explicitly addressing the default tenant is always legal.
+	resp, body = tenantPost(t, ts, "/v1/ingest", DefaultTenant, nil,
+		ingestRequest{Points: [][]float64{{1, 2}}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("explicit default tenant: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestTenantCheckpointRestoreMatrix pins the acceptance criterion for
+// per-tenant persistence: tenants restore independently, bit for bit, and
+// a corrupt checkpoint fails that tenant — typed, visible, quarantined —
+// not the server.
+func TestTenantCheckpointRestoreMatrix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "serve.ckpt")
+	cfg := Config{K: 5, Shards: 2, MaxTenants: 4,
+		CheckpointPath: path, CheckpointInterval: time.Hour}
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	pts := genPoints(900, 13)
+	ingestAll(t, ts1, s1, pts[:300], 100)
+	for i, name := range []string{"good", "bad"} {
+		lo := 300 * (i + 1)
+		resp, body := tenantPost(t, ts1, "/v1/ingest", name, nil,
+			ingestRequest{Points: shift(pts[lo:lo+300], float64(1000*(i+1)))})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest %s: %d %s", name, resp.StatusCode, body)
+		}
+	}
+	waitTenantDrained(t, s1, DefaultTenant, 300)
+	waitTenantDrained(t, s1, "good", 300)
+	waitTenantDrained(t, s1, "bad", 300)
+
+	var cDef, cGood centersResponse
+	tenantGet(t, ts1, "/v1/centers", "", &cDef)
+	tenantGet(t, ts1, "/v1/centers", "good", &cGood)
+	ts1.Close()
+	// Graceful Close flushes every tenant's final checkpoint.
+	if _, err := s1.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	goodFile := tenantCheckpointPath(path, "good")
+	badFile := tenantCheckpointPath(path, "bad")
+	for _, f := range []string{path, goodFile, badFile} {
+		if _, err := os.Stat(f); err != nil {
+			t.Fatalf("checkpoint %s not written: %v", f, err)
+		}
+	}
+
+	// Flip a payload bit in bad's checkpoint only.
+	raw, err := os.ReadFile(badFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0x20
+	if err := os.WriteFile(badFile, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the server comes up, default and good resume exactly, bad is
+	// quarantined with the typed corruption error.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("corrupt tenant checkpoint must not fail the server: %v", err)
+	}
+	defer s2.Close(context.Background())
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	restores := s2.TenantRestores()
+	if len(restores) != 2 || restores[0].Tenant != DefaultTenant || restores[1].Tenant != "good" {
+		t.Fatalf("restores: %+v", restores)
+	}
+	var c2Def, c2Good centersResponse
+	tenantGet(t, ts2, "/v1/centers", "", &c2Def)
+	tenantGet(t, ts2, "/v1/centers", "good", &c2Good)
+	for name, pair := range map[string][2]centersResponse{
+		"default": {cDef, c2Def}, "good": {cGood, c2Good},
+	} {
+		before, after := pair[0], pair[1]
+		if after.Snapshot.Version != before.Snapshot.Version ||
+			after.Snapshot.Radius != before.Snapshot.Radius ||
+			after.Snapshot.LowerBound != before.Snapshot.LowerBound ||
+			len(after.Centers) != len(before.Centers) {
+			t.Fatalf("%s restored snapshot differs:\n%+v\n%+v", name, after.Snapshot, before.Snapshot)
+		}
+		for i := range before.Centers {
+			for d := range before.Centers[i] {
+				if after.Centers[i][d] != before.Centers[i][d] {
+					t.Fatalf("%s center %d dim %d: %v != %v",
+						name, i, d, after.Centers[i][d], before.Centers[i][d])
+				}
+			}
+		}
+	}
+
+	// The quarantined tenant: typed error in-process and on the wire.
+	bad, ok := s2.lookup("bad")
+	if !ok {
+		t.Fatal("quarantined tenant missing from the registry")
+	}
+	if !errors.Is(bad.failed, ErrTenantFailed) || !errors.Is(bad.failed, checkpoint.ErrCorrupt) {
+		t.Fatalf("quarantine error not typed: %v", bad.failed)
+	}
+	var tl tenantsResponse
+	tenantGet(t, ts2, "/v1/tenants", "", &tl)
+	var badInfo *tenantInfo
+	for i := range tl.Tenants {
+		if tl.Tenants[i].Name == "bad" {
+			badInfo = &tl.Tenants[i]
+		}
+	}
+	if badInfo == nil || badInfo.Status != "failed" || badInfo.Error == "" {
+		t.Fatalf("listing does not expose the failure: %+v", tl.Tenants)
+	}
+	resp, body := tenantPost(t, ts2, "/v1/ingest", "bad", nil, ingestRequest{Points: pts[:1]})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("ingest to quarantined tenant: %d %s", resp.StatusCode, body)
+	}
+	resp, body = tenantPost(t, ts2, "/v1/assign", "bad", nil, assignRequest{Points: pts[:1]})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("assign to quarantined tenant: %d %s", resp.StatusCode, body)
+	}
+	// Healthy siblings keep serving traffic.
+	resp, body = tenantPost(t, ts2, "/v1/ingest", "good", nil,
+		ingestRequest{Points: shift(pts[:50], 1000)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-restore ingest to good: %d %s", resp.StatusCode, body)
+	}
+	// The corrupt file was never overwritten or removed: the operator's
+	// forensic copy is intact.
+	after, err := os.ReadFile(badFile)
+	if err != nil || len(after) != len(raw) {
+		t.Fatalf("quarantined checkpoint touched: %v (%d vs %d bytes)", err, len(after), len(raw))
+	}
+}
+
+// TestCheckpointRotation: CheckpointKeep retains the last N checkpoints as
+// <path>.1..N, each a complete restorable file, newest first.
+func TestCheckpointRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serve.ckpt")
+	s, err := New(Config{K: 3, CheckpointPath: path,
+		CheckpointInterval: time.Hour, CheckpointKeep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	pts := genPoints(900, 29)
+	versions := make([]uint64, 0, 3)
+	for round := 0; round < 3; round++ {
+		ingestAll(t, ts, s, pts[300*round:300*(round+1)], 100)
+		waitShardsDrained(t, s, int64(300*(round+1)))
+		if err := s.CheckpointNow(); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := checkpoint.Read(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		versions = append(versions, snap.CentersVersion)
+	}
+
+	// After 3 writes with keep=2: current + .1 (write 2) + .2 (write 1).
+	one, err := checkpoint.Read(path + ".1")
+	if err != nil {
+		t.Fatalf("rotated .1 not restorable: %v", err)
+	}
+	two, err := checkpoint.Read(path + ".2")
+	if err != nil {
+		t.Fatalf("rotated .2 not restorable: %v", err)
+	}
+	if one.CentersVersion != versions[1] || two.CentersVersion != versions[0] {
+		t.Fatalf("rotation order: .1 has v%d (want v%d), .2 has v%d (want v%d)",
+			one.CentersVersion, versions[1], two.CentersVersion, versions[0])
+	}
+	if _, err := os.Stat(path + ".3"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("keep=2 left a .3 slot: %v", err)
+	}
+
+	// The rollback story: an operator copies a rotated slot over the live
+	// path and restarts — the server resumes at that older version.
+	b, err := os.ReadFile(path + ".2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rollback := filepath.Join(filepath.Dir(path), "rollback.ckpt")
+	if err := os.WriteFile(rollback, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Config{K: 3, CheckpointPath: rollback, CheckpointInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close(context.Background())
+	if rs := s2.Restored(); rs == nil || rs.CentersVersion != versions[0] {
+		t.Fatalf("rollback restore: %+v, want version %d", rs, versions[0])
+	}
+}
+
+// TestInvalidBatchDoesNotConsumeTenantSlot: a 400-rejected batch under a
+// fresh tenant name must not lazily create the tenant (regression: slot
+// exhaustion via garbage first-contact requests).
+func TestInvalidBatchDoesNotConsumeTenantSlot(t *testing.T) {
+	s := newTestService(t, Config{K: 3, MaxTenants: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Feed the default tenant so the cleanup Close has something to drain.
+	if resp, body := tenantPost(t, ts, "/v1/ingest", "", nil,
+		ingestRequest{Points: [][]float64{{0, 0}, {7, 7}}}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("default ingest: %d %s", resp.StatusCode, body)
+	}
+
+	resp, body := tenantPost(t, ts, "/v1/ingest", "garbage", nil,
+		ingestRequest{Points: [][]float64{{1, 2}, {1, 2, 3}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ragged batch: %d %s", resp.StatusCode, body)
+	}
+	var tl tenantsResponse
+	tenantGet(t, ts, "/v1/tenants", "", &tl)
+	if len(tl.Tenants) != 1 {
+		t.Fatalf("rejected batch created a tenant: %+v", tl.Tenants)
+	}
+	// The slot is still usable by a valid creation.
+	resp, body = tenantPost(t, ts, "/v1/ingest", "garbage", nil,
+		ingestRequest{Points: [][]float64{{1, 2}}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("valid creation after rejection: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestLazyCreateRestoresCheckpointShape: a checkpoint file appearing for an
+// unregistered name (operator copies a backup in while the server runs) is
+// restored with the checkpoint's own k/shards, not the request defaults
+// (regression: spurious quarantine via ErrStateMismatch).
+func TestLazyCreateRestoresCheckpointShape(t *testing.T) {
+	dir := t.TempDir()
+	path1 := filepath.Join(dir, "one.ckpt")
+	s1, err := New(Config{K: 3, Shards: 2, MaxTenants: 3, DefaultK: 2,
+		CheckpointPath: path1, CheckpointInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	pts := genPoints(300, 61)
+	resp, body := tenantPost(t, ts1, "/v1/ingest", "x",
+		map[string]string{TenantKHeader: "5"}, ingestRequest{Points: pts})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest x: %d %s", resp.StatusCode, body)
+	}
+	waitTenantDrained(t, s1, "x", 300)
+	if err := s1.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	// Only tenant "x" ingested; the default tenant's drain legitimately
+	// reports the empty stream.
+	if _, err := s1.Close(context.Background()); err != nil && !errors.Is(err, stream.ErrEmpty) {
+		t.Fatal(err)
+	}
+
+	// A fresh server with a different base path; the operator drops x's
+	// checkpoint into its tenant dir at runtime.
+	path2 := filepath.Join(dir, "two.ckpt")
+	s2, err := New(Config{K: 3, Shards: 2, MaxTenants: 3, DefaultK: 2,
+		CheckpointPath: path2, CheckpointInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close(context.Background())
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	if err := os.MkdirAll(path2+".d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(tenantCheckpointPath(path1, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tenantCheckpointPath(path2, "x"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// First contact without shape headers: the checkpoint (k=5), not
+	// DefaultK (2), must shape the restored tenant.
+	resp, body = tenantPost(t, ts2, "/v1/ingest", "x", nil,
+		ingestRequest{Points: pts[:10]})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("lazy restore ingest: %d %s", resp.StatusCode, body)
+	}
+	var st statsResponse
+	tenantGet(t, ts2, "/v1/stats?tenant=x", "", &st)
+	if st.K != 5 || st.RestoredPoints != 300 {
+		t.Fatalf("lazy restore shape: k=%d restored=%d, want k=5 restored=300", st.K, st.RestoredPoints)
+	}
+	// Conflicting shape headers against the checkpointed shape: 409.
+	resp, body = tenantPost(t, ts2, "/v1/ingest", "x",
+		map[string]string{TenantKHeader: "2"}, ingestRequest{Points: pts[:1]})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("conflicting k vs checkpoint: %d %s", resp.StatusCode, body)
+	}
+}

@@ -25,7 +25,8 @@ type ShardedConfig struct {
 	K int
 	// Shards is the number of independent shard goroutines; 0 means 1.
 	Shards int
-	// Buffer is the per-shard channel depth; 0 means 256. Deeper buffers
+	// Buffer is the per-shard channel depth in messages (a message is one
+	// Push point or one PushBatch stripe); 0 means 256. Deeper buffers
 	// decouple producers from shard goroutines at the cost of memory.
 	Buffer int
 	// Metric configures every shard Summary and the final merge; nil means
@@ -77,8 +78,11 @@ type Result struct {
 // (callers join their producer goroutines first, as with closing any
 // channel).
 type Sharded struct {
-	cfg       ShardedConfig
-	chans     []chan []float64
+	cfg ShardedConfig
+	// chans carry point batches (possibly singletons) to the shard
+	// goroutines; one message per shard per PushBatch keeps the channel
+	// and scheduler traffic per point O(1/batch).
+	chans     []chan [][]float64
 	summaries []*Summary
 	// sumLocks[i] guards summaries[i]: the shard goroutine holds the write
 	// side around each Push, Snapshot holds the read side while reading a
@@ -110,19 +114,24 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 	}
 	sh := &Sharded{
 		cfg:       cfg,
-		chans:     make([]chan []float64, cfg.Shards),
+		chans:     make([]chan [][]float64, cfg.Shards),
 		summaries: make([]*Summary, cfg.Shards),
 		sumLocks:  make([]sync.RWMutex, cfg.Shards),
 	}
 	for i := range sh.chans {
-		sh.chans[i] = make(chan []float64, cfg.Buffer)
+		sh.chans[i] = make(chan [][]float64, cfg.Buffer)
 		sh.summaries[i] = NewSummary(cfg.K, Options{Metric: cfg.Metric})
 		sh.wg.Add(1)
 		go func(i int) {
 			defer sh.wg.Done()
-			for p := range sh.chans[i] {
+			// One lock acquisition per message: a batch's points are
+			// summarized back to back (a few µs for serving-sized
+			// batches), which readers under the read lock tolerate.
+			for batch := range sh.chans[i] {
 				sh.sumLocks[i].Lock()
-				sh.summaries[i].Push(p)
+				for _, p := range batch {
+					sh.summaries[i].Push(p)
+				}
 				sh.sumLocks[i].Unlock()
 			}
 		}(i)
@@ -269,7 +278,71 @@ func (s *Sharded) Push(p []float64) error {
 		return fmt.Errorf("stream: Push after Finish")
 	}
 	i := s.next.Add(1) - 1
-	s.chans[i%uint64(len(s.chans))] <- cp
+	s.chans[i%uint64(len(s.chans))] <- [][]float64{cp}
+	return nil
+}
+
+// PushBatch routes a batch of points exactly as len(points) sequential
+// Push calls would — point j lands on shard (cursor+j) mod shards, in
+// order, so the resulting clustering is bit-identical — but pays O(shards)
+// allocations and channel sends instead of O(len(points)): each shard's
+// stripe is gathered into one contiguous slab and delivered as a single
+// message. This is the serving layer's ingest path; at batch sizes in the
+// hundreds it cuts the allocation and scheduler traffic per point by two
+// orders of magnitude, which on small hosts is the difference between GC
+// pauses a co-tenant can feel and ones it cannot. The whole batch is
+// validated before any point is routed, so an error means nothing was
+// ingested. Safe for concurrent use alongside Push.
+func (s *Sharded) PushBatch(points [][]float64) error {
+	if len(points) == 0 {
+		return nil
+	}
+	d := int64(len(points[0]))
+	if d == 0 {
+		return fmt.Errorf("stream: empty point")
+	}
+	for _, p := range points {
+		if int64(len(p)) != d {
+			return fmt.Errorf("stream: point dimension %d, want %d in one batch", len(p), d)
+		}
+	}
+	if !s.dim.CompareAndSwap(0, d) {
+		if got := s.dim.Load(); got != d {
+			return fmt.Errorf("stream: point dimension %d, want %d", d, got)
+		}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.finished.Load() {
+		return fmt.Errorf("stream: Push after Finish")
+	}
+	m := uint64(len(points))
+	base := s.next.Add(m) - m
+	nsh := uint64(len(s.chans))
+	counts := make([]int, nsh)
+	for j := uint64(0); j < m; j++ {
+		counts[(base+j)%nsh]++
+	}
+	dim := int(d)
+	for sh := uint64(0); sh < nsh; sh++ {
+		c := counts[sh]
+		if c == 0 {
+			continue
+		}
+		slab := make([]float64, c*dim)
+		batch := make([][]float64, 0, c)
+		// This shard's stripe starts at the first j with (base+j)≡sh and
+		// advances by the shard count, preserving sequential-Push order.
+		first := (sh - base%nsh + nsh) % nsh
+		off := 0
+		for j := first; j < m; j += nsh {
+			row := slab[off : off+dim : off+dim]
+			copy(row, points[j])
+			batch = append(batch, row)
+			off += dim
+		}
+		s.chans[sh] <- batch
+	}
 	return nil
 }
 

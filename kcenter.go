@@ -397,11 +397,29 @@ type ServerOptions struct {
 	// A checkpoint is written only when the center set changed since the
 	// last one, so quiet periods write nothing.
 	CheckpointInterval time.Duration
+	// CheckpointKeep retains the last N checkpoints per tenant as
+	// <path>.1 (newest) through <path>.N (oldest) so an operator can roll
+	// back after a bad feed; 0 keeps no history.
+	CheckpointKeep int
+	// MaxTenants enables multi-tenant serving when > 0: requests carrying
+	// an X-Kcenter-Tenant header (or a "tenant" body field) route to
+	// independent per-tenant clusterings, lazily created on first ingest
+	// contact until MaxTenants tenants exist (the implicit default tenant
+	// counts toward the cap; tenants restored from checkpoints are
+	// exempt). 0 serves the single default tenant only, byte-identical to
+	// the pre-tenancy wire format.
+	MaxTenants int
+	// DefaultK is the center budget for lazily created tenants that do
+	// not pin their own with the X-Kcenter-K header; 0 means k.
+	DefaultK int
 }
 
 // ServerRestore describes the warm start a server performed from its
 // checkpoint; see Server.Restored.
 type ServerRestore struct {
+	// Tenant is the tenant the restored state belongs to ("default" for
+	// the single-tenant path).
+	Tenant string
 	// Path is the checkpoint file the state came from.
 	Path string
 	// Created is when the checkpoint was captured.
@@ -421,11 +439,16 @@ type ServerRestore struct {
 // /v1/ingest feeds batches into a sharded streaming ingester, POST
 // /v1/assign answers batch nearest-center queries against a consistent
 // snapshot of the current clustering, GET /v1/centers and GET /v1/stats
-// expose the centers and service counters. With a CheckpointPath it
-// persists the clustering and resumes it warm on restart (see Restored).
-// Create with NewServer, mount Handler on an http.Server, and call
-// Shutdown exactly once to drain in-flight batches and flush the final
-// clustering.
+// expose the centers and service counters, GET /v1/tenants the tenant
+// registry. With MaxTenants > 0 one server multiplexes many independent
+// clusterings: requests route to a tenant via the X-Kcenter-Tenant header
+// (unnamed requests hit the implicit default tenant, byte-identical to
+// single-tenant serving), each tenant owning its own ingester, queue,
+// snapshot cache and checkpoint file. With a CheckpointPath it persists
+// every tenant's clustering and resumes them warm on restart (see Restored
+// and TenantRestores). Create with NewServer, mount Handler on an
+// http.Server, and call Shutdown exactly once to drain in-flight batches
+// and flush the final clustering.
 type Server struct {
 	svc    *server.Service
 	shards int
@@ -452,6 +475,9 @@ func NewServer(k int, opt ServerOptions) (*Server, error) {
 		ShedAfter:          opt.ShedAfter,
 		CheckpointPath:     opt.CheckpointPath,
 		CheckpointInterval: opt.CheckpointInterval,
+		CheckpointKeep:     opt.CheckpointKeep,
+		MaxTenants:         opt.MaxTenants,
+		DefaultK:           opt.DefaultK,
 	})
 	if err != nil {
 		return nil, err
@@ -468,7 +494,29 @@ func (s *Server) Restored() *ServerRestore {
 	if rs == nil {
 		return nil
 	}
-	return &ServerRestore{
+	out := newServerRestore(rs)
+	return &out
+}
+
+// TenantRestores reports every warm start the server performed, one entry
+// per tenant restored from its own checkpoint file (the default tenant
+// included), default first, then by tenant name. Empty on a fully cold
+// start. Tenants whose checkpoint failed to restore are quarantined — they
+// refuse traffic with a typed error while every sibling serves — and do
+// not appear here; the GET /v1/tenants listing names them with status
+// "failed".
+func (s *Server) TenantRestores() []ServerRestore {
+	rs := s.svc.TenantRestores()
+	out := make([]ServerRestore, len(rs))
+	for i, r := range rs {
+		out[i] = newServerRestore(r)
+	}
+	return out
+}
+
+func newServerRestore(rs *server.RestoreSummary) ServerRestore {
+	return ServerRestore{
+		Tenant:         rs.Tenant,
 		Path:           rs.Path,
 		Created:        rs.Created,
 		Ingested:       rs.Ingested,

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Canonical tier-1 gate, mirroring `make check` for environments without
 # make. Runs vet, build, the full test suite, the race-detector pass over
-# the concurrent streaming ingestion path and the serving layer, a bench
+# the concurrent streaming ingestion path and the serving layer (including
+# the multi-tenant create/ingest/assign/checkpoint race test), a bench
 # smoke, and the docs gate (scripts/docscheck.sh).
 set -eu
 

@@ -1,5 +1,5 @@
 #!/bin/sh
-# Docs gate, part of `make check` (see scripts/check.sh). Three checks:
+# Docs gate, part of `make check` (see scripts/check.sh). Four checks:
 #
 #   1. gofmt: no file may need reformatting.
 #   2. Package comments: every package has exactly one package doc comment
@@ -9,6 +9,9 @@
 #   3. Link integrity: every repo-relative path in backticks or markdown
 #      links in README.md and ARCHITECTURE.md must exist, and every
 #      `make <target>` mentioned must be a real target in the Makefile.
+#   4. Wire-format sync: every /v1/* route registered in internal/server
+#      must be documented in README.md and examples/serving/README.md, so
+#      the wire-format docs cannot silently fall behind the handler table.
 #
 # Exits non-zero with a list of violations.
 set -eu
@@ -76,6 +79,21 @@ for doc in README.md ARCHITECTURE.md; do
 	for target in $(grep -oE '`make [a-z][a-z-]*' "$doc" | awk '{print $2}' | sort -u); do
 		if ! grep -qE "^$target:" Makefile; then
 			echo "$doc references 'make $target', which is not a Makefile target"
+			fail=1
+		fi
+	done
+done
+
+echo "== docs gate: /v1 route sync"
+routes="$(grep -hoE 'HandleFunc\("/v1/[a-z]+"' internal/server/*.go | sed -E 's/HandleFunc\("([^"]*)"/\1/' | sort -u)"
+if [ -z "$routes" ]; then
+	echo "no /v1 routes found in internal/server (extraction broken?)"
+	fail=1
+fi
+for rt in $routes; do
+	for doc in README.md examples/serving/README.md; do
+		if ! grep -q "$rt" "$doc"; then
+			echo "$doc does not document route $rt (registered in internal/server)"
 			fail=1
 		fi
 	done

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -87,5 +89,63 @@ func TestServerFacadeLifecycle(t *testing.T) {
 func TestNewServerValidation(t *testing.T) {
 	if _, err := NewServer(0, ServerOptions{}); err == nil {
 		t.Fatal("k=0 should fail")
+	}
+}
+
+// TestServerFacadeMultiTenant exercises the multi-tenant facade surface:
+// named tenants route to isolated clusterings, per-tenant checkpoints
+// land in the tenant directory, and TenantRestores reports every warm
+// start on the next boot.
+func TestServerFacadeMultiTenant(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "serve.ckpt")
+	opts := ServerOptions{Shards: 2, MaxTenants: 3, DefaultK: 2, CheckpointPath: ckpt}
+	srv, err := NewServer(4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	post := func(tenant string, pts [][]float64) int {
+		t.Helper()
+		b, _ := json.Marshal(map[string]any{"points": pts, "tenant": tenant})
+		resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("", [][]float64{{0, 0}, {9, 9}}); code != http.StatusAccepted {
+		t.Fatalf("default ingest status %d", code)
+	}
+	if code := post("alpha", [][]float64{{100, 100}, {109, 109}}); code != http.StatusAccepted {
+		t.Fatalf("alpha ingest status %d", code)
+	}
+	ts.Close()
+	if _, err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "serve.ckpt.d", "alpha.ckpt")); err != nil {
+		t.Fatalf("per-tenant checkpoint missing: %v", err)
+	}
+
+	srv2, err := NewServer(4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Shutdown(context.Background())
+	restores := srv2.TenantRestores()
+	if len(restores) != 2 {
+		t.Fatalf("restores: %+v", restores)
+	}
+	if restores[0].Tenant != "default" || restores[1].Tenant != "alpha" {
+		t.Fatalf("restore order: %+v", restores)
+	}
+	if restores[1].Ingested != 2 {
+		t.Fatalf("alpha restored %d points, want 2", restores[1].Ingested)
+	}
+	if rs := srv2.Restored(); rs == nil || rs.Tenant != "default" {
+		t.Fatalf("default restore: %+v", rs)
 	}
 }
