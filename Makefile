@@ -17,11 +17,13 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector gate over the concurrent ingestion path and the serving
-# layer — including the multi-tenant lifecycle test (concurrent tenant
-# create/ingest/assign/checkpoint); -short keeps it under a few seconds.
+# Race-detector gate over the concurrent ingestion path, the worker pool
+# behind the parallel Gonzalez traversal, and the serving layer — including
+# the multi-tenant lifecycle test (concurrent tenant create/ingest/assign/
+# checkpoint) and the shared-pool traversal test; -short keeps it under a
+# few seconds.
 race:
-	$(GO) test -race -short ./internal/stream/... ./internal/server/...
+	$(GO) test -race -short ./internal/core/... ./internal/stream/... ./internal/server/...
 
 # Tier-1 bench smoke: one iteration of the kernel/assign/Gonzalez/stream
 # benchmarks, JSON written to a scratch path so the committed baseline is
@@ -30,6 +32,8 @@ bench-smoke:
 	OUT=$${TMPDIR:-/tmp}/BENCH_kernels.smoke.json sh scripts/bench.sh
 
 # Regenerate the committed BENCH_kernels.json baseline with stable timings.
+# The parallel benchmarks are swept at -cpu 1,4 (see scripts/bench.sh), so
+# the baseline records scaling, not just single-core cost.
 bench:
 	BENCHTIME=$${BENCHTIME:-2s} sh scripts/bench.sh
 

@@ -51,18 +51,35 @@ func TestAdaptiveModesBitIdentical(t *testing.T) {
 	}
 }
 
-// TestPreferPrunedCrossoverShape pins the heuristic's shape: more centers
-// and higher dimension both push toward pruning, and the measured dim-2
-// k=25 break-even from BENCH_kernels.json stays on the plain side.
+// TestPreferPrunedCrossoverShape pins the heuristic's shape against the
+// BenchmarkKernelPrunedNearest (k, dim) sweep in BENCH_kernels.json:
+// higher dimension pushes toward pruning, dim ≤ 2 never prunes (a dim-2
+// distance costs no more than the skip check itself — pruned measured at
+// best a tie at every k up to 100), and every measured losing shape stays
+// on the full-scan side.
 func TestPreferPrunedCrossoverShape(t *testing.T) {
-	if metric.PreferPruned(25, 2) {
-		t.Fatal("k=25 dim=2 is measured break-even; should stay on the plain scan")
+	for _, k := range []int{8, 16, 25, 50, 100} {
+		if metric.PreferPruned(k, 2) {
+			t.Fatalf("k=%d dim=2: pruned never beats the four-flop full scan", k)
+		}
 	}
-	if !metric.PreferPruned(100, 2) {
-		t.Fatal("k=100 dim=2 should prefer pruning")
+	if metric.PreferPruned(16, 3) {
+		t.Fatal("k=16 dim=3 measured slower pruned; should stay on the plain scan")
+	}
+	if !metric.PreferPruned(50, 3) {
+		t.Fatal("k=50 dim=3 should prefer pruning (measured 14% win)")
+	}
+	if metric.PreferPruned(16, 4) {
+		t.Fatal("k=16 dim=4 measured slower pruned; should stay on the plain scan")
+	}
+	if !metric.PreferPruned(50, 4) {
+		t.Fatal("k=50 dim=4 should prefer pruning")
 	}
 	if !metric.PreferPruned(25, 8) {
 		t.Fatal("k=25 dim=8 should prefer pruning")
+	}
+	if !metric.PreferPruned(16, 8) {
+		t.Fatal("k=16 dim=8 should prefer pruning (measured 9-30% win)")
 	}
 	if metric.PreferPruned(4, 64) {
 		t.Fatal("tiny k should never prefer pruning")

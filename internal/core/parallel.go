@@ -3,15 +3,47 @@ package core
 import (
 	"math"
 	"runtime"
-	"sync"
 
 	"kcenter/internal/metric"
 )
 
+// minParallelWork is the adaptive serial cutoff, in point-dimensions of
+// relaxation work per worker per round. A pool round costs two channel
+// operations per worker (~1–2 µs of signaling and wakeups); at roughly
+// 2 ns per point-dimension, 16384 point-dims (~33 µs) per worker keeps
+// that overhead under a few percent. Rounds smaller than one quantum run
+// serially — for a fixed dataset every round relaxes the same [0, n)
+// range, so the cutoff is a whole-traversal decision made once.
+const minParallelWork = 16384
+
+// parallelWorkers returns the effective worker count for an n×dim
+// relaxation: the requested count, capped by the host parallelism (the
+// relaxation is compute-bound, so oversubscription only adds scheduler
+// churn) and by the serial cutoff (each worker must receive at least
+// minParallelWork point-dims per round). A result ≤ 1 means "run the
+// sequential traversal".
+func parallelWorkers(workers, n, dim int) int {
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
+	if max := runtime.NumCPU(); workers > max {
+		// GOMAXPROCS above the usable CPU count (e.g. a -cpu benchmark
+		// sweep on a smaller host) would just time-slice one core.
+		workers = max
+	}
+	if byWork := (n * dim) / minParallelWork; workers > byWork {
+		workers = byWork
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
 // GonzalezParallel is the shared-memory parallelization of the farthest-first
 // traversal: the O(n) relaxation step of each of the k iterations — update
 // every point's distance to the newest center and find the new farthest
-// point — is split across a goroutine pool.
+// point — is split across a persistent worker pool.
 //
 // This is the *intra-machine* counterpart of the paper's MRG: MRG
 // parallelizes across MapReduce machines by partitioning the input and
@@ -19,28 +51,50 @@ import (
 // exact sequential traversal across cores and returns bit-identical centers
 // to Gonzalez (ties broken toward the lower index, matching the sequential
 // scan order). The reduction per iteration is a max, so the traversal stays
-// deterministic. Used by reducers when partitions are large and by the
-// sequential baseline on many-core hosts; the ablation benchmark
+// deterministic.
+//
+// The worker count is adaptive: requests beyond GOMAXPROCS or beyond what
+// the per-round work can amortize (see minParallelWork) are trimmed, and a
+// trimmed count of ≤ 1 falls back to the sequential traversal outright —
+// asking for more workers never makes the call slower than Gonzalez by more
+// than the pool's round-signaling cost. Callers running many traversals
+// amortize pool construction with GonzalezPooled; the ablation benchmark
 // BenchmarkAblationParallelGonzalez quantifies the speedup.
 func GonzalezParallel(ds *metric.Dataset, k int, opt Options, workers int) *Result {
-	if workers <= 1 {
-		return Gonzalez(ds, k, opt)
-	}
 	if k <= 0 {
 		panic("core: GonzalezParallel requires k >= 1")
 	}
+	if ds.N == 0 {
+		panic("core: GonzalezParallel on empty dataset")
+	}
+	workers = parallelWorkers(workers, ds.N, ds.Dim)
+	if workers <= 1 {
+		return Gonzalez(ds, k, opt)
+	}
+	pool := NewPool(workers)
+	defer pool.Close()
+	return GonzalezPooled(ds, k, opt, pool)
+}
+
+// GonzalezPooled runs the parallel farthest-first traversal on an existing
+// Pool, using exactly pool.Workers() workers with no adaptive trimming —
+// the caller has already sized the pool (and amortizes its construction
+// across calls). Results are bit-identical to Gonzalez for every pool
+// size. It panics on k <= 0 or an empty dataset, like Gonzalez.
+func GonzalezPooled(ds *metric.Dataset, k int, opt Options, pool *Pool) *Result {
+	if k <= 0 {
+		panic("core: GonzalezPooled requires k >= 1")
+	}
 	n := ds.N
 	if n == 0 {
-		panic("core: GonzalezParallel on empty dataset")
+		panic("core: GonzalezPooled on empty dataset")
 	}
 	if k > n {
 		k = n
 	}
+	workers := pool.Workers()
 	if workers > n {
 		workers = n
-	}
-	if max := runtime.GOMAXPROCS(0) * 4; workers > max {
-		workers = max
 	}
 	first := opt.First
 	if first < 0 {
@@ -68,28 +122,28 @@ func GonzalezParallel(ds *metric.Dataset, k int, opt Options, workers int) *Resu
 	partials := make([]partial, workers)
 	chunk := (n + workers - 1) / workers
 
-	var wg sync.WaitGroup
+	// One closure shared by every round: the coordinator updates cp between
+	// rounds, and the pool's channel send/receive pair orders that write
+	// against the workers' reads.
+	var cp []float64
+	relax := func(w int) {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			partials[w] = partial{far: -1, next: -1}
+			return
+		}
+		next, far := metric.RelaxFarthest(ds, lo, hi, cp, minSq)
+		partials[w] = partial{far: far, next: next}
+	}
+
 	center := first
 	for len(res.Centers) < k {
 		res.Centers = append(res.Centers, center)
-		cp := ds.At(center)
-		for w := 0; w < workers; w++ {
-			lo, hi := w*chunk, (w+1)*chunk
-			if hi > n {
-				hi = n
-			}
-			if lo >= hi {
-				partials[w] = partial{far: -1, next: -1}
-				continue
-			}
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				next, far := metric.RelaxFarthest(ds, lo, hi, cp, minSq)
-				partials[w] = partial{far: far, next: next}
-			}(w, lo, hi)
-		}
-		wg.Wait()
+		cp = ds.At(center)
+		pool.RunN(workers, relax)
 		res.DistEvals += int64(n)
 
 		// Deterministic max-reduction: strictly-greater comparison over
@@ -115,6 +169,44 @@ func GonzalezParallel(ds *metric.Dataset, k int, opt Options, workers int) *Resu
 	res.MinDist = make([]float64, n)
 	for i, sq := range minSq {
 		res.MinDist[i] = math.Sqrt(sq)
+	}
+	return res
+}
+
+// GonzalezSubsetParallel is the adaptive front door for subset traversals:
+// GonzalezSubset semantics (centers as ds indices, no MinDist), with the
+// k relaxation rounds split across a transient worker pool when the subset
+// is large enough to amortize it (see parallelWorkers). Bit-identical to
+// GonzalezSubset for every worker count.
+func GonzalezSubsetParallel(ds *metric.Dataset, idx []int, k int, opt Options, workers int) *Result {
+	workers = parallelWorkers(workers, len(idx), ds.Dim)
+	if workers <= 1 {
+		return GonzalezSubset(ds, idx, k, opt)
+	}
+	pool := NewPool(workers)
+	defer pool.Close()
+	return GonzalezSubsetPooled(ds, idx, k, opt, pool)
+}
+
+// GonzalezSubsetPooled is GonzalezSubset on an existing Pool: the subset is
+// gathered into a contiguous scratch dataset and traversed by the pooled
+// parallel relaxation, returning centers as indices into ds. Bit-identical
+// to GonzalezSubset (and hence to the direct per-index formulation) for
+// every pool size; MinDist is not materialized, matching GonzalezSubset.
+func GonzalezSubsetPooled(ds *metric.Dataset, idx []int, k int, opt Options, pool *Pool) *Result {
+	if k <= 0 {
+		panic("core: GonzalezSubsetPooled requires k >= 1")
+	}
+	if len(idx) == 0 {
+		panic("core: GonzalezSubsetPooled on empty subset")
+	}
+	sub := ds.Subset(idx)
+	res := GonzalezPooled(sub, k, opt, pool)
+	// GonzalezSubset never materializes per-point distances (positions, not
+	// dataset indices, and no reducer-side caller wants them).
+	res.MinDist = nil
+	for i, pos := range res.Centers {
+		res.Centers[i] = idx[pos]
 	}
 	return res
 }

@@ -132,24 +132,29 @@ func RunWithThreshold(ds *metric.Dataset, k int, tau float64, cluster mapreduce.
 // maximalSeparated greedily scans idx retaining points farther than the
 // squared separation from everything retained so far, stopping after
 // maxKeep retentions (enough to certify infeasibility).
+//
+// Retained points are gathered incrementally into a contiguous scratch
+// dataset so every separation test is one metric.FirstWithin kernel call —
+// the gather + one-to-many pattern used by every other scan in the
+// repository — instead of per-index SqDist calls chasing ds rows. The
+// kernel scans in retention order with the same accumulation order and
+// early exit as the per-index loop, so the retained set and the evaluation
+// count are bit-identical (pinned by kernel_identity_test.go).
 func maximalSeparated(ds *metric.Dataset, idx []int, sepSq float64, maxKeep int) ([]int, int64) {
 	var kept []int
 	var evals int64
+	scratch := metric.NewDataset(0, ds.Dim)
 	for _, p := range idx {
 		pp := ds.At(p)
-		separated := true
-		for _, q := range kept {
-			evals++
-			if metric.SqDist(pp, ds.At(q)) <= sepSq {
-				separated = false
-				break
-			}
+		hit, scanned := metric.FirstWithin(scratch, 0, scratch.N, pp, sepSq)
+		evals += scanned
+		if hit >= 0 {
+			continue
 		}
-		if separated {
-			kept = append(kept, p)
-			if len(kept) >= maxKeep {
-				break
-			}
+		kept = append(kept, p)
+		scratch.Append(pp)
+		if len(kept) >= maxKeep {
+			break
 		}
 	}
 	return kept, evals

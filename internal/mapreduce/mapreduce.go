@@ -187,20 +187,33 @@ func (e *Engine) Run(name string, tasks []Task) (RoundStats, error) {
 		err  error
 	}
 	results := make([]result, len(tasks))
-	sem := make(chan struct{}, e.cfg.Workers)
-	var wg sync.WaitGroup
-	for i, task := range tasks {
-		wg.Add(1)
-		go func(i int, task Task) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			var ops OpCounter
-			start := time.Now()
-			err := runRecovered(task, &ops)
-			results[i] = result{wall: time.Since(start), ops: ops.Total(), err: err}
-		}(i, task)
+	// One goroutine per concurrency slot pulling task indices, not one per
+	// task parked behind a semaphore: a round with m = 50 simulated
+	// machines on w workers spawns w goroutines instead of m, and MRG runs
+	// several rounds per job. Simulated cost is unaffected (each task is
+	// still timed individually); only host-side scheduler traffic shrinks.
+	workers := e.cfg.Workers
+	if workers > len(tasks) {
+		workers = len(tasks)
 	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				var ops OpCounter
+				start := time.Now()
+				err := runRecovered(tasks[i], &ops)
+				results[i] = result{wall: time.Since(start), ops: ops.Total(), err: err}
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 
 	rs := RoundStats{Name: name, Tasks: len(tasks)}

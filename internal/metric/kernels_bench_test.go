@@ -87,36 +87,72 @@ func BenchmarkKernelNearest(b *testing.B) {
 	})
 }
 
-// BenchmarkKernelPrunedNearest measures the triangle-inequality-pruned
-// nearest-center query against the full kernel scan on a clustered
-// instance (k tight clusters, queries near centers — the assignment
-// regime pruning is built for).
-func BenchmarkKernelPrunedNearest(b *testing.B) {
-	const k, queries = 25, 10000
+// prunedInstance builds the clustered workload pruning is built for: k
+// tight clusters, queries near centers (assignment after clustering,
+// steady-state streaming pushes).
+func prunedInstance(k, dim, queries int) (*Dataset, *Dataset) {
 	r := rng.New(9)
-	centers := NewDataset(k, 2)
+	centers := NewDataset(k, dim)
 	for i := range centers.Data {
 		centers.Data[i] = r.Float64Range(0, 100)
 	}
-	qs := NewDataset(queries, 2)
+	qs := NewDataset(queries, dim)
 	for i := 0; i < queries; i++ {
 		c := centers.At(r.Intn(k))
-		qs.At(i)[0] = c[0] + r.NormFloat64()*0.1
-		qs.At(i)[1] = c[1] + r.NormFloat64()*0.1
+		for d := 0; d < dim; d++ {
+			qs.At(i)[d] = c[d] + r.NormFloat64()*0.1
+		}
 	}
-	pr := NewPruned(centers)
-	b.Run("pruned", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			for qi := 0; qi < queries; qi++ {
-				pr.Nearest(qs.At(qi))
+	return centers, qs
+}
+
+// BenchmarkKernelPrunedNearest measures the triangle-inequality-pruned
+// nearest-center query against the full kernel scan on clustered
+// instances. The original single shape (k=25, dim=2) sits right at the
+// crossover; the (k, dim) sweep samples both sides of it in every
+// dimension class so the PreferPruned fit can be validated (and refitted)
+// against measured data rather than one point — see the crossover
+// discussion on metric.PreferPruned.
+func BenchmarkKernelPrunedNearest(b *testing.B) {
+	const queries = 10000
+	run := func(name string, k, dim int) {
+		centers, qs := prunedInstance(k, dim, queries)
+		pr := NewPruned(centers)
+		b.Run("pruned/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for qi := 0; qi < queries; qi++ {
+					pr.Nearest(qs.At(qi))
+				}
 			}
-		}
-	})
-	b.Run("fullscan", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			for qi := 0; qi < queries; qi++ {
-				NearestInRange(centers, 0, k, qs.At(qi))
+		})
+		b.Run("fullscan/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for qi := 0; qi < queries; qi++ {
+					NearestInRange(centers, 0, k, qs.At(qi))
+				}
 			}
+		})
+	}
+	// The historical headline shape first, keeping the baseline row
+	// comparable across BENCH_kernels.json generations.
+	run("k=25/dim=2", 25, 2)
+	for _, dim := range []int{2, 3, 4, 8} {
+		for _, k := range []int{8, 16, 50, 100} {
+			run("k="+itoa(k)+"/dim="+itoa(dim), k, dim)
 		}
-	})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
 }

@@ -163,18 +163,24 @@ func (p *Pruned) nearest2(q []float64) (int, float64, int64) {
 // scan (NearestInRange) for many queries against k centers of dimension
 // dim. Both produce bit-identical results; this only picks the faster one.
 //
-// The crossover is fitted from the committed BENCH_kernels.json baseline:
-// at dim 2 and k = 25 the pruned scan is roughly break-even against the
-// full scan (BenchmarkKernelPrunedNearest: 785 µs pruned vs 731 µs full,
-// and the k²-matrix build is amortized on top), because a dim-2 distance
-// is only four flops — about the cost of the matrix-row check that would
-// skip it. The saving per skipped candidate grows linearly with dim while
-// the check stays constant, so the break-even k shrinks roughly like 1/dim:
-// k > 64/dim (clamped to k > 8) puts every measured configuration on the
-// winning side with margin.
+// The crossover is fitted from the BenchmarkKernelPrunedNearest (k, dim)
+// sweep in BENCH_kernels.json (k ∈ {8, 16, 25, 50, 100} × dim ∈ {2, 3, 4,
+// 8}, clustered queries — pruning's best case):
+//
+//   - dim 2: pruned never wins decisively at any measured k (ties at
+//     k ∈ {8, 16, 100}, loses 4–6% at k ∈ {25, 50}). A dim-2 distance is
+//     four flops — the same cost as the matrix-row check that would skip
+//     it — so the certificate can only break even before its own branch
+//     overhead. Dim ≤ 2 therefore always takes the full kernel scan.
+//   - dim ≥ 3: the saving per skipped candidate grows linearly with dim
+//     while the check stays constant, so the break-even k shrinks like
+//     1/dim. Measured: dim 3 wins at k ≥ 50 (up to 26%), loses below
+//     k = 25; dim 4 wins at k ≥ 50; dim 8 wins from k = 16 (30% at
+//     k = 100). k > 64/dim (clamped to k > 8) puts every measured win on
+//     the pruned side and every measured loss on the full-scan side.
 func PreferPruned(k, dim int) bool {
-	if dim <= 0 {
-		dim = 1
+	if dim <= 2 {
+		return false
 	}
 	threshold := 64 / dim
 	if threshold < 8 {

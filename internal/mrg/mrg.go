@@ -61,6 +61,15 @@ type Config struct {
 	// EvalWorkers bounds the goroutine pool used for the final covering-
 	// radius evaluation (not charged to the algorithm's cost). 0 = GOMAXPROCS.
 	EvalWorkers int
+	// GonWorkers parallelizes the final single-machine GON round across
+	// host cores via core's persistent worker pool (bit-identical centers;
+	// see core.GonzalezSubsetParallel). The final round is the sequential
+	// bottleneck once reducer rounds run concurrently — O(k²·m) work on
+	// one simulated machine (§5.1). Operation counts, and hence the
+	// simulated cost model, are unchanged; only host wall clock improves.
+	// 0 or 1 means sequential, preserving wall-clock comparability with
+	// earlier measurements.
+	GonWorkers int
 }
 
 // Result is the outcome of an MRG run.
@@ -227,7 +236,12 @@ func Run(ds *metric.Dataset, cfg Config) (*Result, error) {
 		finalOpt = core.Options{First: -1, Rand: r.Split(^uint64(0))}
 	}
 	task := func(ops *mapreduce.OpCounter) error {
-		g := core.GonzalezSubset(ds, s, cfg.K, finalOpt)
+		var g *core.Result
+		if cfg.GonWorkers > 1 {
+			g = core.GonzalezSubsetParallel(ds, s, cfg.K, finalOpt, cfg.GonWorkers)
+		} else {
+			g = core.GonzalezSubset(ds, s, cfg.K, finalOpt)
+		}
 		ops.Add(g.DistEvals)
 		final = g.Centers
 		return nil

@@ -158,6 +158,36 @@ func TestDeterministicGivenSeed(t *testing.T) {
 	}
 }
 
+// TestGonWorkersBitIdentical pins that parallelizing the final GON round
+// across host cores changes neither the centers nor the simulated cost:
+// core.GonzalezSubsetParallel is bit-identical to the sequential subset
+// traversal, so the whole MRG result must match worker for worker.
+func TestGonWorkersBitIdentical(t *testing.T) {
+	l := dataset.Unif(dataset.UnifConfig{N: 20000, Seed: 9})
+	seq, err := Run(l.Points, Config{K: 25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := Run(l.Points, Config{K: 25, Seed: 3, GonWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Radius != seq.Radius {
+			t.Fatalf("GonWorkers=%d: radius %v vs %v", workers, par.Radius, seq.Radius)
+		}
+		for i := range seq.Centers {
+			if par.Centers[i] != seq.Centers[i] {
+				t.Fatalf("GonWorkers=%d: center %d differs", workers, i)
+			}
+		}
+		if par.Stats.SimulatedOps() != seq.Stats.SimulatedOps() {
+			t.Fatalf("GonWorkers=%d: simulated ops %d vs %d",
+				workers, par.Stats.SimulatedOps(), seq.Stats.SimulatedOps())
+		}
+	}
+}
+
 func TestErrorCases(t *testing.T) {
 	l := dataset.Unif(dataset.UnifConfig{N: 100, Seed: 7})
 	if _, err := Run(l.Points, Config{K: 0}); err == nil {

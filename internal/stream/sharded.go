@@ -7,6 +7,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -72,6 +73,17 @@ type Result struct {
 	PerShard []ShardStats
 }
 
+// shardMsg is one channel message to a shard goroutine: a contiguous slab
+// of dim-strided rows (possibly a single point). Delivering coordinates as
+// a flat slab instead of a [][]float64 batch removes the per-row slice
+// headers from every send — the message itself is passed by value — and
+// lets the slab return to a pool once the shard has summarized it (the
+// Summary copies what it retains).
+type shardMsg struct {
+	slab []float64
+	dim  int
+}
+
 // Sharded fans an insertion-only point stream out across goroutine-owned
 // Summary shards. Push is safe for concurrent use by multiple producers;
 // Finish must be called exactly once, after every producer has returned
@@ -79,10 +91,14 @@ type Result struct {
 // channel).
 type Sharded struct {
 	cfg ShardedConfig
-	// chans carry point batches (possibly singletons) to the shard
-	// goroutines; one message per shard per PushBatch keeps the channel
-	// and scheduler traffic per point O(1/batch).
-	chans     []chan [][]float64
+	// chans carry coordinate slabs to the shard goroutines; one message
+	// per shard per PushBatch keeps the channel and scheduler traffic per
+	// point O(1/batch).
+	chans []chan shardMsg
+	// slabs recycles message slabs: a producer takes a slab, the consuming
+	// shard goroutine returns it after summarizing, so steady-state ingest
+	// allocates nothing per send.
+	slabs     sync.Pool
 	summaries []*Summary
 	// sumLocks[i] guards summaries[i]: the shard goroutine holds the write
 	// side around each Push, Snapshot holds the read side while reading a
@@ -114,29 +130,71 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 	}
 	sh := &Sharded{
 		cfg:       cfg,
-		chans:     make([]chan [][]float64, cfg.Shards),
+		chans:     make([]chan shardMsg, cfg.Shards),
 		summaries: make([]*Summary, cfg.Shards),
 		sumLocks:  make([]sync.RWMutex, cfg.Shards),
 	}
 	for i := range sh.chans {
-		sh.chans[i] = make(chan [][]float64, cfg.Buffer)
+		sh.chans[i] = make(chan shardMsg, cfg.Buffer)
 		sh.summaries[i] = NewSummary(cfg.K, Options{Metric: cfg.Metric})
 		sh.wg.Add(1)
 		go func(i int) {
 			defer sh.wg.Done()
-			// One lock acquisition per message: a batch's points are
-			// summarized back to back (a few µs for serving-sized
-			// batches), which readers under the read lock tolerate.
-			for batch := range sh.chans[i] {
-				sh.sumLocks[i].Lock()
-				for _, p := range batch {
-					sh.summaries[i].Push(p)
+			// One lock acquisition covers the received message plus
+			// whatever is already buffered (bounded, so Snapshot readers
+			// wait at most a few tens of µs): per-point producers pay one
+			// lock per drained burst instead of one per point.
+			const maxDrain = 64
+			ch, lock := sh.chans[i], &sh.sumLocks[i]
+			for msg := range ch {
+				lock.Lock()
+				// The summary is re-read under the lock: RestoreState
+				// swaps it while holding the write side.
+				sum := sh.summaries[i]
+				sh.consume(sum, msg)
+			drain:
+				for burst := 1; burst < maxDrain; burst++ {
+					select {
+					case more, ok := <-ch:
+						if !ok {
+							break drain
+						}
+						sh.consume(sum, more)
+					default:
+						break drain
+					}
 				}
-				sh.sumLocks[i].Unlock()
+				lock.Unlock()
 			}
 		}(i)
 	}
 	return sh, nil
+}
+
+// consume summarizes one message's rows into sum (caller holds the shard
+// lock) and recycles the slab.
+func (s *Sharded) consume(sum *Summary, msg shardMsg) {
+	for off := 0; off < len(msg.slab); off += msg.dim {
+		sum.Push(msg.slab[off : off+msg.dim])
+	}
+	s.putSlab(msg.slab)
+}
+
+// getSlab returns a pooled slab with length n, allocating only when the
+// pool is empty or its slab is too small.
+func (s *Sharded) getSlab(n int) []float64 {
+	if v := s.slabs.Get(); v != nil {
+		slab := *(v.(*[]float64))
+		if cap(slab) >= n {
+			return slab[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// putSlab recycles a processed message slab.
+func (s *Sharded) putSlab(slab []float64) {
+	s.slabs.Put(&slab)
 }
 
 // CentersVersion returns the sum of the shard summaries' center-set version
@@ -242,7 +300,11 @@ func (s *Sharded) mergeShards(locked bool, op string) (*Result, error) {
 		res.Bound = worstShardBound
 		return res, nil
 	}
-	g := core.Gonzalez(union, s.cfg.K, core.Options{First: 0})
+	// The recluster goes through the adaptive parallel front door: unions
+	// are usually tiny (≤ shards·k points) and run the sequential
+	// traversal, but a large shards·k merge on a multi-core host gets the
+	// worker pool. Either path is bit-identical to core.Gonzalez.
+	g := core.GonzalezParallel(union, s.cfg.K, core.Options{First: 0}, runtime.NumCPU())
 	if s.cfg.Metric != nil {
 		// core.Gonzalez selects under Euclidean; re-evaluate the covering
 		// radius of its picks under the configured metric so Bound stays a
@@ -270,29 +332,31 @@ func (s *Sharded) Push(p []float64) error {
 			return fmt.Errorf("stream: point dimension %d, want %d", d, got)
 		}
 	}
-	cp := make([]float64, len(p))
-	copy(cp, p)
+	slab := s.getSlab(len(p))
+	copy(slab, p)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.finished.Load() {
+		s.putSlab(slab)
 		return fmt.Errorf("stream: Push after Finish")
 	}
 	i := s.next.Add(1) - 1
-	s.chans[i%uint64(len(s.chans))] <- [][]float64{cp}
+	s.chans[i%uint64(len(s.chans))] <- shardMsg{slab: slab, dim: len(p)}
 	return nil
 }
 
 // PushBatch routes a batch of points exactly as len(points) sequential
 // Push calls would — point j lands on shard (cursor+j) mod shards, in
 // order, so the resulting clustering is bit-identical — but pays O(shards)
-// allocations and channel sends instead of O(len(points)): each shard's
-// stripe is gathered into one contiguous slab and delivered as a single
-// message. This is the serving layer's ingest path; at batch sizes in the
-// hundreds it cuts the allocation and scheduler traffic per point by two
-// orders of magnitude, which on small hosts is the difference between GC
-// pauses a co-tenant can feel and ones it cannot. The whole batch is
-// validated before any point is routed, so an error means nothing was
-// ingested. Safe for concurrent use alongside Push.
+// channel sends instead of O(len(points)): each shard's stripe is gathered
+// into one contiguous slab (drawn from the recycle pool, so steady-state
+// ingest allocates nothing per send) and delivered as a single message.
+// This is the serving layer's ingest path; at batch sizes in the hundreds
+// it cuts the allocation and scheduler traffic per point by two orders of
+// magnitude, which on small hosts is the difference between GC pauses a
+// co-tenant can feel and ones it cannot. The whole batch is validated
+// before any point is routed, so an error means nothing was ingested. Safe
+// for concurrent use alongside Push.
 func (s *Sharded) PushBatch(points [][]float64) error {
 	if len(points) == 0 {
 		return nil
@@ -319,29 +383,24 @@ func (s *Sharded) PushBatch(points [][]float64) error {
 	m := uint64(len(points))
 	base := s.next.Add(m) - m
 	nsh := uint64(len(s.chans))
-	counts := make([]int, nsh)
-	for j := uint64(0); j < m; j++ {
-		counts[(base+j)%nsh]++
-	}
 	dim := int(d)
 	for sh := uint64(0); sh < nsh; sh++ {
-		c := counts[sh]
-		if c == 0 {
+		// This shard's stripe starts at the first j with (base+j)≡sh and
+		// advances by the shard count, preserving sequential-Push order;
+		// the stripe size follows arithmetically, so no per-call count
+		// pass or array is needed.
+		first := (sh - base%nsh + nsh) % nsh
+		if first >= m {
 			continue
 		}
-		slab := make([]float64, c*dim)
-		batch := make([][]float64, 0, c)
-		// This shard's stripe starts at the first j with (base+j)≡sh and
-		// advances by the shard count, preserving sequential-Push order.
-		first := (sh - base%nsh + nsh) % nsh
+		c := int((m - first + nsh - 1) / nsh)
+		slab := s.getSlab(c * dim)
 		off := 0
 		for j := first; j < m; j += nsh {
-			row := slab[off : off+dim : off+dim]
-			copy(row, points[j])
-			batch = append(batch, row)
+			copy(slab[off:off+dim], points[j])
 			off += dim
 		}
-		s.chans[sh] <- batch
+		s.chans[sh] <- shardMsg{slab: slab, dim: dim}
 	}
 	return nil
 }

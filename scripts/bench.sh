@@ -3,6 +3,14 @@
 # streaming and serving benchmarks and emits BENCH_kernels.json with ns/op
 # per benchmark, so every PR leaves a comparable perf record.
 #
+# The parallel benchmarks (pooled Gonzalez traversal, sharded ingestion)
+# are additionally swept with -cpu 1,4 so the baseline records how each
+# scales with GOMAXPROCS, not just its single-core cost; every JSON entry
+# carries the "gomaxprocs" it ran under (parsed from the -N name suffix Go
+# appends), and the file header records the host's CPU count, so a 1-vCPU
+# parity row is not misread as a scaling regression — see ARCHITECTURE.md,
+# "Parallel execution model".
+#
 #   BENCHTIME=1x  (default) one iteration per benchmark: a compile +
 #                 smoke pass, cheap enough for the tier-1 gate. The ns/op
 #                 of a single iteration is noisy; the checked-in baseline
@@ -14,7 +22,14 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_kernels.json}"
-PATTERN='^(BenchmarkKernel|BenchmarkEvaluate|BenchmarkGonzalez|BenchmarkStreamPush|BenchmarkShardedThroughput|BenchmarkServe)'
+# Serial suite: everything except the two parallel sweeps below.
+PATTERN='^(BenchmarkKernel|BenchmarkEvaluate|BenchmarkGonzalezUNIF2D$|BenchmarkGonzalezGAU2D$|BenchmarkGonzalez$|BenchmarkStreamPush|BenchmarkServe)'
+# Parallel suite, run under -cpu 1,4: the 1 row is the single-core
+# baseline, the 4 row is what the worker pool / shard fan-out buys (or
+# costs) at 4-way GOMAXPROCS on this host.
+PAR_PATTERN='^(BenchmarkGonzalezParallel$|BenchmarkShardedThroughput$)'
+
+NUM_CPU="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -23,27 +38,37 @@ trap 'rm -f "$tmp"' EXIT
 # a failing `go test` (bench panic, broken TestMain) slip past set -e.
 go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -count 1 \
 	./internal/metric/ ./internal/assign/ ./internal/core/ ./internal/server/ . > "$tmp"
+go test -run '^$' -bench "$PAR_PATTERN" -benchtime "$BENCHTIME" -count 1 \
+	-cpu 1,4 ./internal/core/ . >> "$tmp"
 cat "$tmp"
 
-awk -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" '
+awk -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" -v numcpu="$NUM_CPU" '
 BEGIN { n = 0 }
 /^pkg: / { pkg = $2 }
 /^Benchmark/ && $3 ~ /^[0-9.]+$/ && $4 == "ns/op" {
 	name = $1
-	sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
-	names[n] = name; pkgs[n] = pkg; ns[n] = $3; n++
+	# Go suffixes benchmark names with -GOMAXPROCS when it is not 1; keep
+	# it as a field rather than part of the name so the serial row and the
+	# -cpu 4 row of the same benchmark stay joinable.
+	procs = 1
+	if (match(name, /-[0-9]+$/)) {
+		procs = substr(name, RSTART + 1) + 0
+		name = substr(name, 1, RSTART - 1)
+	}
+	names[n] = name; pkgs[n] = pkg; ns[n] = $3; procsOf[n] = procs; n++
 }
 END {
 	printf "{\n"
 	printf "  \"generated_by\": \"scripts/bench.sh\",\n"
 	printf "  \"go\": \"%s\",\n", goversion
 	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"num_cpu\": %d,\n", numcpu
 	printf "  \"benchmarks\": [\n"
 	for (i = 0; i < n; i++) {
-		printf "    {\"package\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %s}%s\n", \
-			pkgs[i], names[i], ns[i], (i < n-1 ? "," : "")
+		printf "    {\"package\": \"%s\", \"name\": \"%s\", \"gomaxprocs\": %d, \"ns_per_op\": %s}%s\n", \
+			pkgs[i], names[i], procsOf[i], ns[i], (i < n-1 ? "," : "")
 	}
 	printf "  ]\n}\n"
 }' "$tmp" > "$OUT"
 
-echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks, num_cpu=$NUM_CPU)"
