@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke bench-all docs
+.PHONY: check vet build test race chaos bench bench-smoke bench-all docs
 
-check: vet build test race bench-smoke docs
+check: vet build test race chaos bench-smoke docs
 
 vet:
 	$(GO) vet ./...
@@ -18,12 +18,23 @@ test:
 	$(GO) test ./...
 
 # Race-detector gate over the concurrent ingestion path, the worker pool
-# behind the parallel Gonzalez traversal, and the serving layer — including
+# behind the parallel Gonzalez traversal, the serving layer — including
 # the multi-tenant lifecycle test (concurrent tenant create/ingest/assign/
-# checkpoint) and the shared-pool traversal test; -short keeps it under a
-# few seconds.
+# checkpoint) and the shared-pool traversal test — and the fault-injection
+# switchboard (armed/disarmed flips racing against hot-path Hit calls);
+# -short keeps it under a few seconds.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/stream/... ./internal/server/...
+	$(GO) test -race -short ./internal/core/... ./internal/stream/... ./internal/server/... ./internal/fault/...
+
+# Chaos gate: the fault-injection storm from internal/harness — mixed
+# traffic while shard panics, ingest delays and checkpoint fsync failures
+# fire. The experiment itself enforces the four robustness assertions
+# (process survives, quiet tenants unaffected, every lost point accounted
+# for, restart recovers bit-identically from the last good checkpoint),
+# so a zero exit IS the pass. Scale 10 keeps it under ~2s; raise -scale
+# for a longer storm.
+chaos:
+	$(GO) run ./cmd/experiments -exp chaos -scale 10
 
 # Tier-1 bench smoke: one iteration of the kernel/assign/Gonzalez/stream
 # benchmarks, JSON written to a scratch path so the committed baseline is

@@ -20,7 +20,8 @@
 // ingestion (POST /v1/ingest, shedding with 429 + Retry-After when the
 // bounded queue stays full past -shed-after), batch nearest-center
 // assignment against consistent snapshots (POST /v1/assign), and
-// introspection (GET /v1/centers, GET /v1/stats, GET /v1/tenants). With
+// introspection (GET /v1/centers, GET /v1/stats, GET /v1/tenants,
+// GET /v1/healthz for liveness/readiness probes). With
 // -tenants N one server multiplexes up to N independent clusterings,
 // routed by the X-Kcenter-Tenant header and created lazily on first
 // ingest (k from X-Kcenter-K or -default-k); requests without a tenant
@@ -30,7 +31,11 @@
 // next boot, logging resume summaries; -checkpoint-keep N retains the
 // last N checkpoints per tenant for operator rollback. SIGINT/SIGTERM
 // shut it down gracefully, draining queued batches, writing the final
-// checkpoints and printing the final certified clustering:
+// checkpoints and printing the final certified clustering. For resilience
+// testing, -faults arms the deterministic fault-injection framework (e.g.
+// -faults 'checkpoint.fsync=error;stream.shard=panic-after-100'); a tenant
+// hit by an injected worker or shard panic degrades — serving its last good
+// snapshot read-only — instead of taking the process down:
 //
 //	kcenter serve -addr :8080 -k 25 -shards 8
 //	kcenter serve -addr :8080 -k 25 -checkpoint /var/lib/kcenter/serve.ckpt
@@ -57,6 +62,7 @@ import (
 	"kcenter/internal/core"
 	"kcenter/internal/dataset"
 	"kcenter/internal/eim"
+	"kcenter/internal/fault"
 	"kcenter/internal/mapreduce"
 	"kcenter/internal/metric"
 	"kcenter/internal/mrg"
@@ -180,12 +186,24 @@ func runServe(args []string, out io.Writer, stop <-chan os.Signal) error {
 		ckptKeep     = fs.Int("checkpoint-keep", 0, "keep the last N checkpoints per tenant as <path>.1..N for rollback (0 = none)")
 		tenants      = fs.Int("tenants", 0, "max tenants for multi-tenant serving; 0 = single-tenant mode")
 		defaultK     = fs.Int("default-k", 0, "centers for lazily created tenants without an X-Kcenter-K header (0 = -k)")
+		faults       = fs.String("faults", "", "arm deterministic fault injection, e.g. 'checkpoint.fsync=error;stream.shard=panic-after-100' (testing only)")
 		readTimeout  = fs.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "HTTP write timeout (bounds ingest queue waits)")
 		drainTimeout = fs.Duration("drain-timeout", time.Minute, "shutdown budget for draining queued batches")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *faults != "" {
+		rules, err := fault.ParseSpec(*faults)
+		if err != nil {
+			return err
+		}
+		if err := fault.Enable(rules); err != nil {
+			return err
+		}
+		defer fault.Disable()
+		fmt.Fprintf(out, "FAULT INJECTION ARMED: %s (testing only — failures below are deliberate)\n", *faults)
 	}
 	srv, err := kcenter.NewServer(*k, kcenter.ServerOptions{
 		Shards:             *shards,

@@ -390,3 +390,64 @@ func TestRunServeMultiTenant(t *testing.T) {
 		t.Fatalf("reboot shutdown: %v", err)
 	}
 }
+
+// TestRunServeFaultsFlag: -faults arms the injection framework for the
+// serve process — the first request trips the error-once decode rule, the
+// second sails through — and a malformed spec refuses to start.
+func TestRunServeFaultsFlag(t *testing.T) {
+	out := &syncBuffer{}
+	stop := make(chan os.Signal, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"serve", "-addr", "127.0.0.1:0", "-k", "3",
+			"-faults", "server.decode=error-once"}, out, stop)
+	}()
+	var url string
+	deadline := time.Now().Add(10 * time.Second)
+	for url == "" {
+		if m := serveURLRe.FindStringSubmatch(out.String()); m != nil {
+			url = m[1]
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("serve exited early: %v\noutput:\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen line; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), "FAULT INJECTION ARMED") {
+		t.Fatalf("armed banner missing:\n%s", out.String())
+	}
+	post := func() int {
+		resp, err := http.Post(url+"/v1/ingest", "application/json",
+			strings.NewReader(`{"points": [[1,2],[3,4]]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(); code != http.StatusBadRequest {
+		t.Fatalf("first ingest under error-once = %d, want 400", code)
+	}
+	if code := post(); code != http.StatusAccepted {
+		t.Fatalf("second ingest = %d, want 202", code)
+	}
+	stop <- os.Interrupt
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve returned %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("serve did not shut down; output:\n%s", out.String())
+	}
+
+	// A malformed spec is a startup error, not a silently unarmed server.
+	if err := run([]string{"serve", "-faults", "nonsense"}, &syncBuffer{}, nil); err == nil {
+		t.Fatal("malformed -faults spec accepted")
+	}
+}

@@ -19,10 +19,12 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"kcenter"
@@ -66,6 +68,60 @@ func postJSONHeaders(url string, headers map[string]string, req any, resp any) (
 	return r.StatusCode, nil
 }
 
+// postJSONRetry posts like postJSONHeaders but rides out 429 load shedding
+// the way a production client should: honor the server's Retry-After hint
+// when present, otherwise back off exponentially with jitter, and give up
+// after maxAttempts so a real outage surfaces as an error instead of an
+// unbounded hang. Any status other than 429 returns immediately — retrying
+// a 4xx would only repeat the mistake.
+func postJSONRetry(url string, headers map[string]string, req, resp any, maxAttempts int) (int, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	backoff := 25 * time.Millisecond
+	const backoffCap = 2 * time.Second
+	for attempt := 1; ; attempt++ {
+		hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+		if err != nil {
+			return 0, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		for k, v := range headers {
+			hreq.Header.Set(k, v)
+		}
+		r, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			return 0, err
+		}
+		if r.StatusCode != http.StatusTooManyRequests {
+			defer r.Body.Close()
+			if resp != nil && r.StatusCode < 300 {
+				if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+					return r.StatusCode, err
+				}
+			}
+			return r.StatusCode, nil
+		}
+		retryAfter := r.Header.Get("Retry-After")
+		r.Body.Close()
+		if attempt >= maxAttempts {
+			return r.StatusCode, fmt.Errorf("still shedding after %d attempts", maxAttempts)
+		}
+		wait := backoff
+		if s, perr := strconv.Atoi(retryAfter); perr == nil && s > 0 {
+			wait = time.Duration(s) * time.Second
+		}
+		// Jitter to wait/2 .. wait*3/2 so a fleet of shed clients does not
+		// return in lockstep and re-trip the watermark together.
+		wait = wait/2 + time.Duration(rand.Int63n(int64(wait)+1))
+		time.Sleep(wait)
+		if backoff < backoffCap {
+			backoff *= 2
+		}
+	}
+}
+
 type pointsBody struct {
 	Points [][]float64 `json:"points"`
 }
@@ -94,14 +150,36 @@ func main() {
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("clustering service on %s (k=%d, 4 shards)\n", base, k)
 
-	// The "live feed": the paper's GAU family, pushed in client batches.
+	// Liveness/readiness, the way an orchestrator would probe it: /v1/healthz
+	// is cheap, always answers while the process lives, and reports degraded
+	// tenants without failing readiness (a quarantined tenant is a contained
+	// fault, not a dead server).
+	var hz struct {
+		Status string `json:"status"`
+		Live   bool   `json:"live"`
+		Ready  bool   `json:"ready"`
+	}
+	hresp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&hz); err != nil {
+		log.Fatal(err)
+	}
+	hresp.Body.Close()
+	fmt.Printf("healthz: status=%s live=%v ready=%v\n", hz.Status, hz.Live, hz.Ready)
+
+	// The "live feed": the paper's GAU family, pushed in client batches
+	// through the retrying client — under overload the server sheds with
+	// 429 + Retry-After rather than queueing unboundedly, and the client's
+	// job is to honor that hint, back off with jitter, and resubmit.
 	feed := kcenter.Clustered(batches*batch, k, 1)
 	for b := 0; b < batches; b++ {
 		pts := make([][]float64, batch)
 		for i := range pts {
 			pts[i] = feed.At(b*batch + i)
 		}
-		code, err := postJSON(base+"/v1/ingest", pointsBody{Points: pts}, nil)
+		code, err := postJSONRetry(base+"/v1/ingest", nil, pointsBody{Points: pts}, nil, 8)
 		if err != nil || code != http.StatusAccepted {
 			log.Fatalf("ingest batch %d: code %d err %v", b, code, err)
 		}
@@ -258,7 +336,7 @@ func main() {
 		if t == "eu" {
 			hdr["X-Kcenter-K"] = "3"
 		}
-		code, err := postJSONHeaders(base3+"/v1/ingest", hdr, pointsBody{Points: pts}, nil)
+		code, err := postJSONRetry(base3+"/v1/ingest", hdr, pointsBody{Points: pts}, nil, 8)
 		if err != nil || code != http.StatusAccepted {
 			log.Fatalf("tenant %s ingest: code %d err %v", t, code, err)
 		}

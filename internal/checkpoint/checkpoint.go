@@ -50,6 +50,7 @@ import (
 	"strings"
 	"time"
 
+	"kcenter/internal/fault"
 	"kcenter/internal/stream"
 )
 
@@ -185,6 +186,9 @@ func Write(path string, snap *Snapshot) (err error) {
 			}
 		}
 	}
+	if err = fault.Hit(fault.CheckpointCreate); err != nil {
+		return fmt.Errorf("checkpoint: create in %s: %w", dir, err)
+	}
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
@@ -198,8 +202,18 @@ func Write(path string, snap *Snapshot) (err error) {
 	if _, err = tmp.Write(hdr[:]); err != nil {
 		return fmt.Errorf("checkpoint: write %s: %w", tmp.Name(), err)
 	}
+	// The write fault fires between header and payload, so an injected
+	// ENOSPC leaves the nastiest possible temp file: a valid-looking header
+	// with a truncated payload. The deferred cleanup must still remove it
+	// and the live checkpoint must stay untouched.
+	if err = fault.Hit(fault.CheckpointWrite); err != nil {
+		return fmt.Errorf("checkpoint: write %s: %w", tmp.Name(), err)
+	}
 	if _, err = tmp.Write(payload); err != nil {
 		return fmt.Errorf("checkpoint: write %s: %w", tmp.Name(), err)
+	}
+	if err = fault.Hit(fault.CheckpointSync); err != nil {
+		return fmt.Errorf("checkpoint: fsync %s: %w", tmp.Name(), err)
 	}
 	if err = tmp.Sync(); err != nil {
 		return fmt.Errorf("checkpoint: fsync %s: %w", tmp.Name(), err)
@@ -207,8 +221,17 @@ func Write(path string, snap *Snapshot) (err error) {
 	if err = tmp.Close(); err != nil {
 		return fmt.Errorf("checkpoint: close %s: %w", tmp.Name(), err)
 	}
+	if err = fault.Hit(fault.CheckpointRename); err != nil {
+		return fmt.Errorf("checkpoint: rename %s: %w", tmp.Name(), err)
+	}
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
+	}
+	// Past the rename the new checkpoint is live; a dir-fsync failure is
+	// reported (the rename's durability is not yet guaranteed) but the file
+	// at path is already the new complete checkpoint.
+	if err = fault.Hit(fault.CheckpointDirSync); err != nil {
+		return fmt.Errorf("checkpoint: fsync dir %s: %w", dir, err)
 	}
 	// Persist the rename itself. Directory fsync is best-effort where the
 	// platform refuses it (the rename is still atomic in the namespace).
@@ -236,7 +259,17 @@ func Rotate(path string, keep int) {
 	}
 	_ = os.Remove(fmt.Sprintf("%s.%d", path, keep))
 	for i := keep - 1; i >= 1; i-- {
+		// The rotate fault aborts mid-shift, simulating a crash between
+		// history renames: slots may be left shifted unevenly, but every
+		// surviving slot is still a complete checkpoint and the live file
+		// was never touched.
+		if fault.Hit(fault.CheckpointRotate) != nil {
+			return
+		}
 		_ = os.Rename(fmt.Sprintf("%s.%d", path, i), fmt.Sprintf("%s.%d", path, i+1))
+	}
+	if fault.Hit(fault.CheckpointRotate) != nil {
+		return
 	}
 	if _, err := os.Stat(path); err != nil {
 		return

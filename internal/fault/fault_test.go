@@ -1,0 +1,212 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitPasses(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled after Disable")
+	}
+	if err := Hit(StreamShard); err != nil {
+		t.Fatalf("disarmed Hit returned %v", err)
+	}
+	if Hits(StreamShard) != 0 {
+		t.Fatal("disarmed Hit counted")
+	}
+}
+
+func TestErrorAlways(t *testing.T) {
+	defer Disable()
+	if err := Enable(map[string]Rule{"p": {Mode: ModeError}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		err := Hit("p")
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: got %v, want ErrInjected", i, err)
+		}
+	}
+	if Hits("p") != 3 || Fired("p") != 3 {
+		t.Fatalf("hits=%d fired=%d, want 3/3", Hits("p"), Fired("p"))
+	}
+	if err := Hit("other"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestErrorOnce(t *testing.T) {
+	defer Disable()
+	if err := Enable(map[string]Rule{"p": {Mode: ModeErrorOnce, After: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	var fails int
+	for i := 0; i < 10; i++ {
+		if Hit("p") != nil {
+			fails++
+			if i != 2 {
+				t.Fatalf("fired on hit %d, want hit 2", i)
+			}
+		}
+	}
+	if fails != 1 {
+		t.Fatalf("fired %d times, want exactly once", fails)
+	}
+}
+
+func TestErrorAfterN(t *testing.T) {
+	defer Disable()
+	if err := Enable(map[string]Rule{"p": {Mode: ModeError, After: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := Hit("p"); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	for i := 5; i < 8; i++ {
+		if Hit("p") == nil {
+			t.Fatalf("hit %d did not fire", i)
+		}
+	}
+}
+
+func TestPanicCarriesPanicValue(t *testing.T) {
+	defer Disable()
+	if err := Enable(map[string]Rule{"p": {Mode: ModePanic}}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		v := recover()
+		pv, ok := v.(PanicValue)
+		if !ok {
+			t.Fatalf("panicked with %T %v, want PanicValue", v, v)
+		}
+		if pv.Point != "p" || pv.Hit != 1 {
+			t.Fatalf("PanicValue = %+v", pv)
+		}
+	}()
+	_ = Hit("p")
+	t.Fatal("Hit did not panic")
+}
+
+func TestDelaySleeps(t *testing.T) {
+	defer Disable()
+	if err := Enable(map[string]Rule{"p": {Mode: ModeDelay, Delay: 20 * time.Millisecond}}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Hit("p"); err != nil {
+		t.Fatalf("delay rule returned %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay rule slept only %v", d)
+	}
+}
+
+func TestEnableValidates(t *testing.T) {
+	cases := []map[string]Rule{
+		nil,
+		{"": {Mode: ModeError}},
+		{"p": {}},
+		{"p": {Mode: ModeDelay}},
+		{"p": {Mode: ModeError, After: -1}},
+	}
+	for i, rules := range cases {
+		if err := Enable(rules); err == nil {
+			Disable()
+			t.Fatalf("case %d: Enable accepted invalid rules %v", i, rules)
+		}
+	}
+	if Enabled() {
+		t.Fatal("failed Enable armed the framework")
+	}
+}
+
+// TestConcurrentHits drives one armed point from many goroutines while a
+// disarmed point is hit alongside; run under -race this pins the lock-free
+// publication discipline.
+func TestConcurrentHits(t *testing.T) {
+	defer Disable()
+	if err := Enable(map[string]Rule{"p": {Mode: ModeError, After: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	var fails atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if Hit("p") != nil {
+					fails.Add(1)
+				}
+				_ = Hit("quiet")
+			}
+		}()
+	}
+	wg.Wait()
+	total := int64(workers * per)
+	if Hits("p") != total {
+		t.Fatalf("hits=%d, want %d", Hits("p"), total)
+	}
+	if got := fails.Load(); got != total-100 {
+		t.Fatalf("fired %d, want %d", got, total-100)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec("checkpoint.fsync=error-always; stream.shard=panic-after-1000,server.ingest=delay-50ms-after-10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Rule{
+		"checkpoint.fsync": {Mode: ModeError},
+		"stream.shard":     {Mode: ModePanic, After: 1000},
+		"server.ingest":    {Mode: ModeDelay, Delay: 50 * time.Millisecond, After: 10},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("parsed %d rules, want %d", len(rules), len(want))
+	}
+	for name, w := range want {
+		if rules[name] != w {
+			t.Fatalf("%s: got %+v, want %+v", name, rules[name], w)
+		}
+	}
+	for _, bad := range []string{"", "p", "p=", "=x", "p=explode", "p=error-after-x", "p=delay-", "p=delay-bogus", "p=panic-after--1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// BenchmarkHitDisabled measures the production cost of an injection point:
+// it must stay at a single atomic load and branch.
+func BenchmarkHitDisabled(b *testing.B) {
+	Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Hit(StreamShard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHitArmedPassing(b *testing.B) {
+	defer Disable()
+	if err := Enable(map[string]Rule{"other": {Mode: ModeError}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Hit(StreamShard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -27,6 +27,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"kcenter/internal/fault"
 )
 
 // pointsPool recycles decoded point batches across requests. encoding/json
@@ -177,10 +179,12 @@ type shardStats struct {
 type tenantInfo struct {
 	// Name is the tenant name ("default" for the implicit tenant).
 	Name string `json:"name"`
-	// Status is "active", or "failed" for a tenant quarantined by a
-	// checkpoint that did not restore.
+	// Status is "active"; "degraded" for a tenant quarantined at runtime
+	// after a contained worker/shard panic (still serving its last good
+	// snapshot read-only); or "failed" for a tenant quarantined by a
+	// checkpoint that did not restore (refusing all traffic).
 	Status string `json:"status"`
-	// Error is the typed restore failure for a failed tenant.
+	// Error is the typed failure for a degraded or failed tenant.
 	Error string `json:"error,omitempty"`
 	// K and Shards are the tenant's pinned shape; Dim its pinned point
 	// dimensionality (0 until first ingest).
@@ -214,13 +218,19 @@ type tenantsResponse struct {
 // aggregateStats sums the headline counters across every tenant, for the
 // multi-tenant default stats view.
 type aggregateStats struct {
-	Tenants        int   `json:"tenants"`
-	FailedTenants  int   `json:"failed_tenants"`
-	MaxTenants     int   `json:"max_tenants"`
-	AcceptedPoints int64 `json:"accepted_points"`
-	IngestedPoints int64 `json:"ingested_points"`
-	AssignPoints   int64 `json:"assign_points"`
-	ShedPoints     int64 `json:"shed_points"`
+	Tenants         int   `json:"tenants"`
+	FailedTenants   int   `json:"failed_tenants"`
+	DegradedTenants int   `json:"degraded_tenants"`
+	MaxTenants      int   `json:"max_tenants"`
+	AcceptedPoints  int64 `json:"accepted_points"`
+	IngestedPoints  int64 `json:"ingested_points"`
+	AssignPoints    int64 `json:"assign_points"`
+	ShedPoints      int64 `json:"shed_points"`
+	// DroppedPoints sums every point discarded inside a degraded tenant
+	// (queued batches discarded by its quarantined worker plus in-flight
+	// shard backlogs); with AcceptedPoints and ShedPoints it accounts for
+	// every point any client was told was accepted.
+	DroppedPoints int64 `json:"dropped_points"`
 }
 
 // statsResponse is the GET /v1/stats reply. The tenant/tenants/aggregate
@@ -252,12 +262,26 @@ type statsResponse struct {
 	CheckpointWrites       int64 `json:"checkpoint_writes"`
 	CheckpointErrors       int64 `json:"checkpoint_errors"`
 	LastCheckpointUnixNano int64 `json:"last_checkpoint_unix_nano"`
+	// LastCheckpointError is the message of the most recent checkpoint
+	// write failure, cleared by the next successful write; empty while
+	// persistence is healthy (the field is then omitted, keeping healthy
+	// replies byte-identical to the pre-fault wire format).
+	LastCheckpointError string `json:"last_checkpoint_error,omitempty"`
 	// RestoredPoints is the ingested count inherited from the checkpoint
 	// this process warm-started from (0 on a cold start); it is already
 	// included in IngestedPoints.
-	RestoredPoints int64         `json:"restored_points"`
-	Snapshot       *snapshotMeta `json:"snapshot,omitempty"`
-	PerShard       []shardStats  `json:"per_shard,omitempty"`
+	RestoredPoints int64 `json:"restored_points"`
+	// DroppedPoints counts points this tenant discarded after accepting
+	// them: batches its degraded ingest worker drained-and-discarded plus
+	// shard backlogs dropped after a contained shard panic. 0 (omitted)
+	// for a healthy tenant.
+	DroppedPoints int64 `json:"dropped_points,omitempty"`
+	// Degraded marks a tenant quarantined at runtime; DegradedError is the
+	// typed cause. Both are omitted for healthy tenants.
+	Degraded      bool          `json:"degraded,omitempty"`
+	DegradedError string        `json:"degraded_error,omitempty"`
+	Snapshot      *snapshotMeta `json:"snapshot,omitempty"`
+	PerShard      []shardStats  `json:"per_shard,omitempty"`
 	// Tenant names the tenant this reply describes (multi-tenant mode
 	// only; the fields above are always one tenant's view).
 	Tenant string `json:"tenant,omitempty"`
@@ -280,6 +304,7 @@ func (s *Service) routes() {
 	s.mux.HandleFunc("/v1/centers", s.handleCenters)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/tenants", s.handleTenants)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	// Catch-all so unknown routes honor the JSON error contract instead of
 	// the default text/plain 404 page.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -440,6 +465,17 @@ func (s *Service) resolveIngest(w http.ResponseWriter, r *http.Request, name str
 // itself and returns nil when the batch is rejected.
 func (s *Service) decodePoints(w http.ResponseWriter, r *http.Request) *ingestRequest {
 	defer r.Body.Close()
+	// Injectable decode failure (server.decode): an error rule models a
+	// malformed request (400); a panic rule exercises the recovery
+	// middleware in Handler.
+	if err := fault.Hit(fault.ServerDecode); err != nil {
+		if errors.Is(err, fault.ErrInjected) {
+			writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+			return nil
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return nil
+	}
 	// Cap the body BEFORE decoding so MaxBatch actually bounds memory: an
 	// over-limit body must not be materialized just to be counted. 4 KiB
 	// per allowed point (dozens of full-precision coordinates) plus fixed
@@ -537,6 +573,14 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		putPointsBuf(batch)
 		return
 	}
+	// A degraded tenant (quarantined after a contained worker/shard panic)
+	// keeps answering queries from its last good snapshot but accepts no new
+	// data — queued batches would be silently discarded, so refuse up front.
+	if err := t.checkDegraded(); err != nil {
+		putPointsBuf(batch)
+		writeError(w, http.StatusConflict, "tenant "+strconv.Quote(name)+" unavailable: "+err.Error())
+		return
+	}
 	// Pin the tenant dimension on first contact; a concurrent first batch
 	// of a different dimension loses the CAS and is re-validated against
 	// the winner. (The batch is internally consistent, so comparing its
@@ -611,6 +655,11 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 	}
 	qs, err := t.snapshot()
 	if err != nil {
+		if errors.Is(err, ErrTenantFailed) {
+			// Degraded with no snapshot ever cached: nothing to serve.
+			writeError(w, http.StatusConflict, "tenant "+strconv.Quote(name)+" unavailable: "+err.Error())
+			return
+		}
 		// Points accepted but none drained into a shard yet.
 		writeError(w, http.StatusConflict, "no centers yet: "+err.Error())
 		return
@@ -649,6 +698,10 @@ func (s *Service) handleCenters(w http.ResponseWriter, r *http.Request) {
 	}
 	qs, err := t.snapshot()
 	if err != nil {
+		if errors.Is(err, ErrTenantFailed) {
+			writeError(w, http.StatusConflict, "tenant "+strconv.Quote(name)+" unavailable: "+err.Error())
+			return
+		}
 		writeError(w, http.StatusConflict, "no centers yet: "+err.Error())
 		return
 	}
@@ -675,6 +728,10 @@ func (t *tenant) info() tenantInfo {
 		ti.Status = "failed"
 		ti.Error = t.failed.Error()
 		return ti
+	}
+	if err := t.checkDegraded(); err != nil {
+		ti.Status = "degraded"
+		ti.Error = err.Error()
 	}
 	ti.Dim = t.dimInt()
 	ti.IngestedPoints = t.ingestedPoints.Load()
@@ -746,6 +803,12 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		CheckpointWrites:       t.ckptWrites.Load(),
 		CheckpointErrors:       t.ckptErrors.Load(),
 		LastCheckpointUnixNano: t.lastCkptUnix.Load(),
+		LastCheckpointError:    t.lastCheckpointError(),
+		DroppedPoints:          t.totalDropped(),
+	}
+	if err := t.checkDegraded(); err != nil {
+		resp.Degraded = true
+		resp.DegradedError = err.Error()
 	}
 	if t.restored != nil {
 		resp.RestoredPoints = t.restored.Ingested
@@ -787,10 +850,14 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 					agg.FailedTenants++
 					continue
 				}
+				if tn.checkDegraded() != nil {
+					agg.DegradedTenants++
+				}
 				agg.AcceptedPoints += tn.acceptedPoints.Load()
 				agg.IngestedPoints += tn.ingestedPoints.Load()
 				agg.AssignPoints += tn.assignPoints.Load()
 				agg.ShedPoints += tn.shedPoints.Load()
+				agg.DroppedPoints += tn.totalDropped()
 			}
 			s.tmu.RUnlock()
 			resp.Tenants = infos

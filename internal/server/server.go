@@ -8,7 +8,7 @@
 // the original single-tenant wire format.
 //
 // The paper makes k-center fast enough to serve at scale; this package is
-// where that capacity meets traffic. Five endpoints:
+// where that capacity meets traffic. Six endpoints:
 //
 //	POST /v1/ingest   batched point ingestion. Batches are validated, then
 //	                  enqueued on the tenant's bounded queue consumed by
@@ -34,7 +34,12 @@
 //	                  state; in multi-tenant mode the default view also
 //	                  carries a per-tenant summary and aggregate totals.
 //	GET  /v1/tenants  the tenant registry: every tenant's shape, counters,
-//	                  status (active or failed) and checkpoint file.
+//	                  status (active, degraded or failed) and checkpoint
+//	                  file.
+//	GET  /v1/healthz  liveness vs readiness: live is "the process answers",
+//	                  ready is "not shutting down" (503 when it is);
+//	                  degraded and failed tenants are listed but do not
+//	                  fail readiness — their siblings still serve.
 //
 // Tenant semantics: unknown tenants are 404 on query endpoints, lazily
 // created on ingest (multi-tenant mode only); a creation past MaxTenants is
@@ -42,6 +47,17 @@
 // tenant quarantined by a failed restore — is 409. Tenant isolation is
 // structural: separate ingesters, queues, workers, snapshot caches and
 // checkpoint files, sharing only the Go scheduler and the HTTP listener.
+//
+// Failure is contained per tenant: a panic in a tenant's ingest worker or
+// one of its shard goroutines degrades only that tenant (typed
+// ErrTenantFailed wrapping the panic value) — it keeps serving its last
+// good snapshot read-only, rejects new ingest with 409, counts every
+// discarded point in dropped_points, and never writes another checkpoint,
+// so a restart recovers it bit-identically from its last good one. A panic
+// that escapes an HTTP handler is answered with a JSON 500 by the recovery
+// middleware in Handler instead of killing the process. The internal/fault
+// framework can inject all of these failures deterministically (see the
+// kcenter serve -faults flag and the chaos harness experiment).
 //
 // Shutdown is graceful: Close rejects new batches, drains every tenant's
 // queued ones into its shards, then flushes each ingester's final merged
@@ -72,6 +88,7 @@ import (
 	"fmt"
 	"io/fs"
 	"math"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
@@ -196,6 +213,10 @@ type Service struct {
 	wg     sync.WaitGroup
 	closed atomic.Bool
 
+	// handlerPanics counts panics the HTTP recovery middleware contained
+	// (each answered 500 instead of killing the process).
+	handlerPanics atomic.Int64
+
 	started time.Time
 }
 
@@ -306,9 +327,13 @@ func tenantNameLess(a, b string) bool {
 // checkpointLoop periodically persists every tenant's clustering state,
 // writing only the tenants whose center-set version has advanced since
 // their last write so quiet tenants — and quiet periods — cost nothing.
-// Write failures are counted (checkpoint_errors in /v1/stats) and retried
-// next tick; the previous checkpoint stays intact on disk either way,
-// because writes are atomic.
+// Write failures are counted (checkpoint_errors and last_checkpoint_error
+// in /v1/stats) and retried under capped exponential backoff with jitter
+// (ckptBackoff) instead of at full tick cadence — a failing disk gets
+// breathing room and the log gets one line per failing↔healthy transition,
+// not one per tick. The previous checkpoint stays intact on disk either
+// way, because writes are atomic. Degraded tenants are skipped outright:
+// their last good checkpoint is the state the restart must recover.
 func (s *Service) checkpointLoop() {
 	defer s.wg.Done()
 	t := time.NewTicker(s.cfg.CheckpointInterval)
@@ -318,9 +343,16 @@ func (s *Service) checkpointLoop() {
 		case <-s.done:
 			return
 		case <-t.C:
+			now := time.Now()
 			for _, tn := range s.liveTenants() {
 				if tn.ckptPath == "" {
 					continue
+				}
+				if tn.checkDegraded() != nil {
+					continue // preserve the last good checkpoint
+				}
+				if retry := tn.ckptRetryTime(); !retry.IsZero() && now.Before(retry) {
+					continue // backing off after write failures
 				}
 				if v := tn.sh.CentersVersion(); tn.ckptEver.Load() && v == tn.lastCkptVersion.Load() {
 					continue
@@ -332,6 +364,23 @@ func (s *Service) checkpointLoop() {
 			}
 		}
 	}
+}
+
+// ckptBackoff is the retry gap after the streak-th consecutive checkpoint
+// write failure: the checkpoint interval doubled per failure, capped at 16×,
+// with ±25% jitter so many tenants failing together (one bad disk) do not
+// retry in lockstep. The background loop still ticks every interval; the
+// gap just makes it skip the failing tenant until the deadline passes.
+func ckptBackoff(interval time.Duration, streak int) time.Duration {
+	if streak < 1 {
+		streak = 1
+	}
+	shift := streak - 1
+	if shift > 4 {
+		shift = 4
+	}
+	d := interval << uint(shift)
+	return time.Duration(float64(d) * (0.75 + 0.5*rand.Float64()))
 }
 
 // CheckpointNow synchronously captures and persists every tenant's current
@@ -350,15 +399,15 @@ func (s *Service) CheckpointNow() error {
 		if t.dim.Load() == 0 {
 			continue
 		}
+		if t.checkDegraded() != nil {
+			continue // the last good checkpoint is the recoverable state
+		}
 		if err := t.writeCheckpoint(); err != nil {
 			errs = append(errs, fmt.Errorf("tenant %s: %w", t.name, err))
 		}
 	}
 	return errors.Join(errs...)
 }
-
-// Handler returns the service's HTTP handler (the /v1 API).
-func (s *Service) Handler() http.Handler { return s.mux }
 
 var errShuttingDown = fmt.Errorf("service is shutting down")
 
@@ -423,6 +472,9 @@ func (s *Service) Close(ctx context.Context) (*stream.Result, error) {
 	var defErr error
 	var errs []error
 	for _, t := range all {
+		// Finish reaps the shard goroutines for degraded tenants too (their
+		// backlog drains into the dropped counter); on a failed ingester it
+		// returns the contained panic error instead of a merge.
 		res, err := t.sh.Finish()
 		if t == s.tenant {
 			defRes, defErr = res, err
@@ -433,8 +485,10 @@ func (s *Service) Close(ctx context.Context) (*stream.Result, error) {
 		}
 		// The shard goroutines have exited, so this capture sees every
 		// drained point — the one moment a checkpoint is exhaustive by
-		// construction.
-		if err == nil && t.ckptPath != "" {
+		// construction. A degraded tenant (even one whose shards finished
+		// cleanly, e.g. after an ingest-worker panic) is skipped: its last
+		// good checkpoint must survive for the restart.
+		if err == nil && t.ckptPath != "" && t.checkDegraded() == nil {
 			if werr := t.writeCheckpoint(); werr != nil {
 				errs = append(errs, fmt.Errorf("server: final checkpoint (tenant %s): %w", t.name, werr))
 			}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"kcenter/internal/checkpoint"
+	"kcenter/internal/fault"
 	"kcenter/internal/metric"
 	"kcenter/internal/stream"
 )
@@ -31,12 +33,18 @@ import (
 // deployment never sees tenant machinery on the wire or on disk.
 const DefaultTenant = "default"
 
-// ErrTenantFailed marks a quarantined tenant: its checkpoint failed to
-// restore at startup, so the tenant refuses traffic (HTTP 409) while every
-// other tenant serves normally. The wrapped cause is the typed restore
-// error (checkpoint.ErrCorrupt, checkpoint.ErrFormatVersion,
-// stream.ErrStateInvalid, ...). Detect with errors.Is.
-var ErrTenantFailed = errors.New("tenant restore failed")
+// ErrTenantFailed marks a quarantined tenant, in either of two forms.
+// Born-failed: its checkpoint failed to restore at startup, so the tenant
+// holds no ingester and refuses all traffic (HTTP 409) while every other
+// tenant serves normally; the wrapped cause is the typed restore error
+// (checkpoint.ErrCorrupt, checkpoint.ErrFormatVersion,
+// stream.ErrStateInvalid, ...). Degraded: a panic in the tenant's ingest
+// worker or one of its shard goroutines was contained at runtime; the
+// wrapped cause carries the panic value. A degraded tenant keeps serving
+// reads from its last good cached snapshot but rejects ingest (409) and
+// never writes another checkpoint, so the last good on-disk state survives
+// for the restart. Detect either form with errors.Is.
+var ErrTenantFailed = errors.New("tenant failed")
 
 // errUnknownTenant reports a query for a tenant that does not exist; the
 // handler maps it to HTTP 404.
@@ -106,6 +114,24 @@ type tenant struct {
 	// checkpoint with another copy of the unchanged live file, destroying
 	// the history exactly during the outage an operator needs it for.
 	ckptWriteFailed bool
+	// ckptFailStreak / ckptRetryAt (guarded by ckptMu) are the background
+	// loop's backoff state: consecutive write failures grow the retry gap
+	// exponentially (capped, jittered — see ckptBackoff) instead of
+	// hammering a failing disk at full CheckpointInterval cadence.
+	ckptFailStreak int
+	ckptRetryAt    time.Time
+	// lastCkptErrMsg is the most recent write failure, surfaced as
+	// last_checkpoint_error in /v1/stats and cleared ("") on success.
+	lastCkptErrMsg atomic.Value // string
+
+	// degraded is the runtime quarantine record: set (once, monotonically)
+	// when a panic in this tenant's ingest worker or shard goroutines was
+	// contained. Distinct from failed: a degraded tenant still owns its
+	// ingester and last good snapshot and keeps serving reads.
+	degraded atomic.Pointer[degradedInfo]
+	// droppedPoints counts points from queued batches discarded after the
+	// tenant degraded (the shard-level drops live in sh.DroppedPoints()).
+	droppedPoints atomic.Int64
 
 	// failed quarantines the tenant: its checkpoint did not restore, so it
 	// holds no ingester or queue and refuses traffic. The error wraps
@@ -399,38 +425,147 @@ func (t *tenant) restoreSnap(snap *checkpoint.Snapshot) error {
 	return nil
 }
 
+// degradedInfo is the runtime quarantine record of a tenant.
+type degradedInfo struct {
+	err error
+	at  time.Time
+}
+
+// degrade quarantines the tenant at runtime: reads keep serving its last
+// good cached snapshot, ingest is rejected, queued batches are discarded
+// (counted in droppedPoints) and no further checkpoint is ever written, so
+// the last good on-disk state survives for the restart. The first cause
+// wins; later calls are no-ops, so the log line is rate-limited to one per
+// outage by construction.
+func (t *tenant) degrade(cause error) {
+	info := &degradedInfo{
+		err: fmt.Errorf("%w: %w", ErrTenantFailed, cause),
+		at:  time.Now(),
+	}
+	if t.degraded.CompareAndSwap(nil, info) {
+		log.Printf("kcenter/server: tenant %q degraded, serving last good snapshot read-only: %v", t.name, cause)
+		expstats.Add("degraded_tenants", 1)
+	}
+}
+
+// checkDegraded returns the tenant's quarantine error (nil while healthy),
+// promoting a contained shard failure into tenant-level quarantine the
+// first time any caller observes it. The healthy path is two atomic loads,
+// cheap enough for every handler to call per request.
+func (t *tenant) checkDegraded() error {
+	if d := t.degraded.Load(); d != nil {
+		return d.err
+	}
+	if t.sh != nil {
+		if err := t.sh.Failed(); err != nil {
+			t.degrade(err)
+			return t.degraded.Load().err
+		}
+	}
+	return nil
+}
+
+// totalDropped is every point this tenant lost to degradation: queued
+// batches discarded by the worker plus messages the shards abandoned.
+func (t *tenant) totalDropped() int64 {
+	n := t.droppedPoints.Load()
+	if t.sh != nil {
+		n += t.sh.DroppedPoints()
+	}
+	return n
+}
+
+// lastCheckpointError returns the most recent background write failure, ""
+// after a success (or before any failure).
+func (t *tenant) lastCheckpointError() string {
+	if s, ok := t.lastCkptErrMsg.Load().(string); ok {
+		return s
+	}
+	return ""
+}
+
+// ckptRetryTime reads the backoff deadline under ckptMu.
+func (t *tenant) ckptRetryTime() time.Time {
+	t.ckptMu.Lock()
+	defer t.ckptMu.Unlock()
+	return t.ckptRetryAt
+}
+
 // writeCheckpoint captures and atomically persists the tenant's state,
 // rotating prior checkpoints when CheckpointKeep asks for a rollback
 // window. Serialized by ckptMu so the periodic loop, CheckpointNow and the
 // final flush in Close never interleave, and lastCkptVersion always names
-// the version on disk.
+// the version on disk. Failures (including a contained panic anywhere in
+// the write path) feed the backoff state the background loop consults, log
+// exactly once per failing↔healthy transition, and leave the previous
+// checkpoint intact on disk — writes are atomic and a degraded tenant is
+// refused outright.
 func (t *tenant) writeCheckpoint() error {
 	t.ckptMu.Lock()
 	defer t.ckptMu.Unlock()
+	err := t.writeCheckpointLocked()
+	now := time.Now()
+	if err != nil {
+		t.ckptWriteFailed = true
+		t.ckptErrors.Add(1)
+		expstats.Add("checkpoint_errors", 1)
+		t.lastCkptErrMsg.Store(err.Error())
+		t.ckptFailStreak++
+		t.ckptRetryAt = now.Add(ckptBackoff(t.svc.cfg.CheckpointInterval, t.ckptFailStreak))
+		if t.ckptFailStreak == 1 {
+			log.Printf("kcenter/server: tenant %q: checkpoint failing, backing off: %v", t.name, err)
+		}
+		return err
+	}
+	if t.ckptFailStreak > 0 {
+		log.Printf("kcenter/server: tenant %q: checkpoint healthy again after %d failed attempts", t.name, t.ckptFailStreak)
+	}
+	t.ckptFailStreak = 0
+	t.ckptRetryAt = time.Time{}
+	t.ckptWriteFailed = false
+	t.lastCkptErrMsg.Store("")
+	t.ckptWrites.Add(1)
+	expstats.Add("checkpoint_writes", 1)
+	return nil
+}
+
+// writeCheckpointLocked is the capture-rotate-write sequence, caller holding
+// ckptMu. A panic anywhere inside (e.g. an injected fault, or a bug in the
+// serialization path) is contained into an error: a checkpoint must never
+// take the serving process down.
+func (t *tenant) writeCheckpointLocked() (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("server: checkpoint write panicked: %v", v)
+		}
+	}()
+	if derr := t.checkDegraded(); derr != nil {
+		// Never overwrite the last good checkpoint with suspect state.
+		return fmt.Errorf("server: refusing checkpoint of degraded tenant: %w", derr)
+	}
 	if t.name != DefaultTenant {
 		// Per-tenant files live under <base>.d, created on first write.
 		if err := os.MkdirAll(filepath.Dir(t.ckptPath), 0o755); err != nil {
-			t.ckptErrors.Add(1)
-			expstats.Add("checkpoint_errors", 1)
 			return fmt.Errorf("server: tenant checkpoint dir: %w", err)
 		}
 	}
 	snap := checkpoint.Capture(t.sh, "")
+	if ferr := t.sh.Failed(); ferr != nil {
+		// A shard panicked while (or before) the capture read its summary:
+		// the captured state may be half-updated. The failure flag is set
+		// before the panicking shard releases its lock, so this post-capture
+		// check is sufficient to reject every suspect capture.
+		return fmt.Errorf("server: discarding checkpoint captured from failed ingester: %w", ferr)
+	}
 	if keep := t.svc.cfg.CheckpointKeep; keep > 0 && !t.ckptWriteFailed {
 		checkpoint.Rotate(t.ckptPath, keep)
 	}
 	if err := checkpoint.Write(t.ckptPath, snap); err != nil {
-		t.ckptWriteFailed = true
-		t.ckptErrors.Add(1)
-		expstats.Add("checkpoint_errors", 1)
 		return err
 	}
-	t.ckptWriteFailed = false
 	t.ckptEver.Store(true)
 	t.lastCkptVersion.Store(snap.CentersVersion)
 	t.lastCkptUnix.Store(snap.CreatedUnixNano)
-	t.ckptWrites.Add(1)
-	expstats.Add("checkpoint_writes", 1)
 	return nil
 }
 
@@ -438,23 +573,62 @@ func (t *tenant) writeCheckpoint() error {
 // batches into the sharded summarizer. One worker per tenant suffices — a
 // Push is a copy plus a channel send (~tens of ns); the shard goroutines
 // do the clustering work, and separate workers keep one tenant's backlog
-// from ever queueing behind another's.
+// from ever queueing behind another's. Each batch is processed with panic
+// containment (ingestOne), so a worker panic degrades this tenant instead
+// of killing the process, and the loop keeps draining — discarding, with
+// accounting — until Close closes the queue.
 func (t *tenant) ingestLoop() {
 	defer t.svc.wg.Done()
 	for batch := range t.queue {
-		// Batches were validated at the handler, so PushBatch cannot fail
-		// on dimensions; a failure here would mean Push-after-Finish, which
-		// the drain ordering in Close rules out. The batch goes to the
-		// shards as one striped slab per shard (O(shards) allocations and
-		// sends instead of O(points)) with routing identical to per-point
-		// pushes.
-		if err := t.sh.PushBatch(batch); err == nil {
-			t.ingestedPoints.Add(int64(len(batch)))
-			expstats.Add("ingested_points", int64(len(batch)))
-		}
-		t.pendingBatches.Add(-1)
-		putPointsBuf(batch) // PushBatch copied into shard slabs; recycle
+		t.ingestOne(batch)
 	}
+}
+
+// ingestOne pushes one queued batch with panic containment: a panic here
+// (an organic bug, or the server.ingest fault point) quarantines only this
+// tenant — the batch is counted dropped, the tenant degrades, and the
+// worker survives to drain (and discard) the rest of its queue so
+// producers and Close never block on a dead consumer.
+func (t *tenant) ingestOne(batch [][]float64) {
+	defer t.pendingBatches.Add(-1)
+	defer func() {
+		if v := recover(); v != nil {
+			t.droppedPoints.Add(int64(len(batch)))
+			expstats.Add("dropped_points", int64(len(batch)))
+			t.degrade(fmt.Errorf("ingest worker panicked: %v", v))
+		}
+	}()
+	if t.checkDegraded() != nil {
+		// Quarantined: queued work is discarded (and counted) rather than
+		// pushed into a suspect clustering.
+		t.droppedPoints.Add(int64(len(batch)))
+		expstats.Add("dropped_points", int64(len(batch)))
+		putPointsBuf(batch)
+		return
+	}
+	// Injection point for chaos testing: error and panic rules panic here
+	// (exercising the containment above), delay rules slow the worker so
+	// its queue backs up toward the shed watermark. Disarmed: one atomic
+	// load.
+	if err := fault.Hit(fault.ServerIngest); err != nil {
+		panic(err)
+	}
+	// Batches were validated at the handler, so PushBatch cannot fail on
+	// dimensions; a failure here would mean Push-after-Finish, which the
+	// drain ordering in Close rules out. The batch goes to the shards as
+	// one striped slab per shard (O(shards) allocations and sends instead
+	// of O(points)) with routing identical to per-point pushes.
+	if err := t.sh.PushBatch(batch); err == nil {
+		t.ingestedPoints.Add(int64(len(batch)))
+		expstats.Add("ingested_points", int64(len(batch)))
+	} else {
+		t.droppedPoints.Add(int64(len(batch)))
+		expstats.Add("dropped_points", int64(len(batch)))
+	}
+	putPointsBuf(batch) // PushBatch copied into shard slabs; recycle
+	// Promote a shard failure this batch may have tripped, so the very next
+	// request observes the quarantine instead of racing the next tick.
+	t.checkDegraded()
 }
 
 // enqueue hands one validated batch to the tenant's ingest worker. A full
@@ -527,7 +701,15 @@ func (t *tenant) dimInt() int { return int(t.dim.Load()) }
 // under it so racing readers trigger one merge, not one each. The version
 // is read before the merge, so the cached snapshot is at least as fresh as
 // its key and a concurrent center change at worst forces one extra rebuild.
+// A degraded tenant serves its last good cached snapshot read-only — no
+// rebuild ever runs over suspect summaries.
 func (t *tenant) snapshot() (*querySnapshot, error) {
+	if derr := t.checkDegraded(); derr != nil {
+		if qs := t.snap.Load(); qs != nil {
+			return qs, nil
+		}
+		return nil, derr
+	}
 	v := t.sh.CentersVersion()
 	if qs := t.snap.Load(); qs != nil && qs.version == v {
 		return qs, nil
@@ -539,6 +721,14 @@ func (t *tenant) snapshot() (*querySnapshot, error) {
 	}
 	res, err := t.sh.Snapshot()
 	if err != nil {
+		if t.checkDegraded() != nil {
+			// The ingester failed between the degraded check above and the
+			// rebuild; fall back to the last good view like any other
+			// degraded read.
+			if qs := t.snap.Load(); qs != nil {
+				return qs, nil
+			}
+		}
 		return nil, err
 	}
 	qs := &querySnapshot{version: v, res: res}

@@ -12,12 +12,21 @@ import (
 	"sync/atomic"
 
 	"kcenter/internal/core"
+	"kcenter/internal/fault"
 	"kcenter/internal/metric"
 )
 
 // ErrEmpty reports a Snapshot or Finish on a stream that has ingested
 // nothing; callers distinguish it (errors.Is) from real failures.
 var ErrEmpty = errors.New("empty stream")
+
+// ErrShardFailed reports that a shard goroutine panicked while summarizing.
+// The panic is contained — producers keep running, later messages are
+// drained and counted in DroppedPoints so nothing blocks — but the shard
+// summaries can no longer be trusted, so Snapshot and Finish refuse with an
+// error wrapping this (and the panic value) instead of serving a possibly
+// half-updated clustering. Detect with errors.Is.
+var ErrShardFailed = errors.New("shard worker failed")
 
 // ShardedConfig parameterizes a Sharded ingester.
 type ShardedConfig struct {
@@ -109,6 +118,12 @@ type Sharded struct {
 	next     atomic.Uint64
 	dim      atomic.Int64 // first-seen dimensionality; 0 = not yet set
 	finished atomic.Bool
+	// failure records the first shard panic (contained by the shard
+	// goroutines; see ErrShardFailed). Once set, every shard switches to
+	// draining and discarding its messages — counted in dropped — so
+	// producers never block on a dead consumer.
+	failure atomic.Pointer[shardFailure]
+	dropped atomic.Int64 // points discarded after a shard failure
 	// mu makes the finished check and the channel send atomic with respect
 	// to Finish closing the channels: a Push racing Finish (a contract
 	// violation, but an easy one) gets the "Push after Finish" error
@@ -140,45 +155,116 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 		sh.wg.Add(1)
 		go func(i int) {
 			defer sh.wg.Done()
-			// One lock acquisition covers the received message plus
-			// whatever is already buffered (bounded, so Snapshot readers
-			// wait at most a few tens of µs): per-point producers pay one
-			// lock per drained burst instead of one per point.
-			const maxDrain = 64
-			ch, lock := sh.chans[i], &sh.sumLocks[i]
+			ch := sh.chans[i]
 			for msg := range ch {
-				lock.Lock()
-				// The summary is re-read under the lock: RestoreState
-				// swaps it while holding the write side.
-				sum := sh.summaries[i]
-				sh.consume(sum, msg)
-			drain:
-				for burst := 1; burst < maxDrain; burst++ {
-					select {
-					case more, ok := <-ch:
-						if !ok {
-							break drain
-						}
-						sh.consume(sum, more)
-					default:
-						break drain
-					}
+				if sh.failure.Load() != nil {
+					// Some shard already panicked: the clustering is
+					// suspect, so drain and discard (counted) instead of
+					// summarizing — producers keep their channel sends and
+					// Finish its close-then-wait semantics either way.
+					sh.discard(msg)
+					continue
 				}
-				lock.Unlock()
+				sh.consumeBurst(i, msg)
 			}
 		}(i)
 	}
 	return sh, nil
 }
 
+// shardFailure is the recorded cause of a contained shard panic.
+type shardFailure struct {
+	shard int
+	err   error
+}
+
+// consumeBurst summarizes one received message plus whatever is already
+// buffered, all under one lock acquisition (bounded, so Snapshot readers
+// wait at most a few tens of µs): per-point producers pay one lock per
+// drained burst instead of one per point. A panic anywhere in the
+// summarizing — an organic bug or an injected fault — is contained here: the
+// first one records the failure (before the lock is released, so no capture
+// can read the half-updated summary without seeing it), counts the in-flight
+// message as dropped, and flips the whole ingester to drain-and-discard.
+func (s *Sharded) consumeBurst(shard int, msg shardMsg) {
+	ch, lock := s.chans[shard], &s.sumLocks[shard]
+	cur := msg
+	lock.Lock()
+	defer lock.Unlock()
+	defer func() {
+		if v := recover(); v != nil {
+			// The message being summarized is counted dropped in full even
+			// if some of its rows landed: the accounting identity is
+			// "ingested ≤ summarized + dropped" — a conservative overcount,
+			// never a silent loss. (Injected faults fire before the first
+			// row, so for them the identity is exact.)
+			if cur.dim > 0 {
+				s.dropped.Add(int64(len(cur.slab) / cur.dim))
+			}
+			s.failure.CompareAndSwap(nil, &shardFailure{
+				shard: shard,
+				err:   fmt.Errorf("stream: %w: shard %d panicked: %v", ErrShardFailed, shard, v),
+			})
+		}
+	}()
+	// The summary is re-read under the lock: RestoreState swaps it while
+	// holding the write side.
+	sum := s.summaries[shard]
+	s.consume(sum, cur)
+	const maxDrain = 64
+	for burst := 1; burst < maxDrain; burst++ {
+		select {
+		case more, ok := <-ch:
+			if !ok {
+				return
+			}
+			cur = more
+			s.consume(sum, more)
+		default:
+			return
+		}
+	}
+}
+
 // consume summarizes one message's rows into sum (caller holds the shard
 // lock) and recycles the slab.
 func (s *Sharded) consume(sum *Summary, msg shardMsg) {
+	// Injection point for chaos testing: an armed error or panic rule
+	// panics here (the consume path has no error channel), exercising the
+	// same containment as an organic Summary.Push panic; a delay rule
+	// wedges the shard instead. Disarmed this is one atomic load.
+	if err := fault.Hit(fault.StreamShard); err != nil {
+		panic(err)
+	}
 	for off := 0; off < len(msg.slab); off += msg.dim {
 		sum.Push(msg.slab[off : off+msg.dim])
 	}
 	s.putSlab(msg.slab)
 }
+
+// discard drops one undeliverable message after a shard failure, counting
+// its points and recycling the slab.
+func (s *Sharded) discard(msg shardMsg) {
+	if msg.dim > 0 {
+		s.dropped.Add(int64(len(msg.slab) / msg.dim))
+	}
+	s.putSlab(msg.slab)
+}
+
+// Failed returns the contained shard-panic error (wrapping ErrShardFailed
+// and the panic value), or nil while every shard is healthy. Once non-nil it
+// never reverts; callers treat the ingester as read-only-at-best.
+func (s *Sharded) Failed() error {
+	if f := s.failure.Load(); f != nil {
+		return f.err
+	}
+	return nil
+}
+
+// DroppedPoints returns how many points were discarded after a shard
+// failure: rows of the message a panicking shard was summarizing, plus every
+// row routed to any shard afterwards. 0 while healthy.
+func (s *Sharded) DroppedPoints() int64 { return s.dropped.Load() }
 
 // getSlab returns a pooled slab with length n, allocating only when the
 // pool is empty or its slab is too small.
@@ -240,8 +326,13 @@ func (s *Sharded) PerShardStats() []ShardStats {
 // mid-stream; points still buffered in shard channels are not yet
 // reflected, and each shard is locked briefly in turn, so the view is
 // consistent per shard but only approximately aligned across shards. It
-// returns an error when no point has been ingested yet.
+// returns an error when no point has been ingested yet, and the contained
+// shard-panic error (see ErrShardFailed) when a shard has failed — the
+// summaries may be half-updated, so no new view is built over them.
 func (s *Sharded) Snapshot() (*Result, error) {
+	if err := s.Failed(); err != nil {
+		return nil, err
+	}
 	return s.mergeShards(true, "Snapshot of")
 }
 
@@ -422,5 +513,11 @@ func (s *Sharded) Finish() (*Result, error) {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	if err := s.Failed(); err != nil {
+		// The goroutines are reaped and every buffered message drained
+		// (into the dropped counter), but the summaries are suspect: no
+		// final merge is produced.
+		return nil, err
+	}
 	return s.mergeShards(false, "Finish on")
 }

@@ -368,6 +368,19 @@ func newStreamResult(res *stream.Result, shards int) *StreamResult {
 // with errors.Is to distinguish an idle server from a real drain failure.
 var ErrNothingIngested = stream.ErrEmpty
 
+// ErrTenantFailed marks a tenant the server has taken out of rotation: its
+// checkpoint failed to restore at startup, or a fault at runtime (an
+// ingest-worker panic, a shard failure) degraded it. A degraded tenant
+// keeps answering /v1/assign and /v1/centers from its last good snapshot,
+// refuses new ingest with HTTP 409, and is excluded from checkpointing so
+// the last good file on disk survives for the next restart. Errors
+// returned by Shutdown for such a tenant wrap ErrTenantFailed; detect it
+// with errors.Is. Siblings are unaffected — the containment boundary is
+// the tenant. GET /v1/healthz lists degraded and failed tenants without
+// failing readiness; GET /v1/tenants shows them with status "degraded" or
+// "failed".
+var ErrTenantFailed = server.ErrTenantFailed
+
 // ServerOptions configures a clustering server.
 type ServerOptions struct {
 	// Shards is the number of concurrent ingestion shards; 0 means 1.
@@ -440,7 +453,9 @@ type ServerRestore struct {
 // /v1/assign answers batch nearest-center queries against a consistent
 // snapshot of the current clustering, GET /v1/centers and GET /v1/stats
 // expose the centers and service counters, GET /v1/tenants the tenant
-// registry. With MaxTenants > 0 one server multiplexes many independent
+// registry, and GET /v1/healthz liveness/readiness (degraded tenants are
+// reported but do not fail readiness — see ErrTenantFailed for the
+// degraded-tenant lifecycle). With MaxTenants > 0 one server multiplexes many independent
 // clusterings: requests route to a tenant via the X-Kcenter-Tenant header
 // (unnamed requests hit the implicit default tenant, byte-identical to
 // single-tenant serving), each tenant owning its own ingester, queue,

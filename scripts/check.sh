@@ -1,9 +1,11 @@
 #!/bin/sh
 # Canonical tier-1 gate, mirroring `make check` for environments without
 # make. Runs vet, build, the full test suite, the race-detector pass over
-# the concurrent streaming ingestion path and the serving layer (including
-# the multi-tenant create/ingest/assign/checkpoint race test), a bench
-# smoke, and the docs gate (scripts/docscheck.sh).
+# the concurrent streaming ingestion path, the serving layer (including
+# the multi-tenant create/ingest/assign/checkpoint race test) and the
+# fault-injection switchboard, a chaos smoke (the fault-injection storm
+# with its four robustness assertions), a bench smoke, and the docs gate
+# (scripts/docscheck.sh).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,8 +19,14 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race -short ./internal/stream/... ./internal/server/..."
-go test -race -short ./internal/stream/... ./internal/server/...
+echo "== go test -race -short ./internal/stream/... ./internal/server/... ./internal/fault/..."
+go test -race -short ./internal/stream/... ./internal/server/... ./internal/fault/...
+
+# Chaos smoke: shard panics, ingest delays and checkpoint fsync failures
+# fire under mixed traffic; the experiment enforces its four robustness
+# assertions internally, so a zero exit is the pass.
+echo "== chaos smoke (cmd/experiments -exp chaos -scale 10)"
+go run ./cmd/experiments -exp chaos -scale 10
 
 # One iteration of every tracked benchmark: proves the suite compiles and
 # runs and that the JSON emitter works, without clobbering the committed
