@@ -20,11 +20,12 @@ test:
 # Race-detector gate over the concurrent ingestion path, the worker pool
 # behind the parallel Gonzalez traversal, the serving layer — including
 # the multi-tenant lifecycle test (concurrent tenant create/ingest/assign/
-# checkpoint) and the shared-pool traversal test — and the fault-injection
-# switchboard (armed/disarmed flips racing against hot-path Hit calls);
-# -short keeps it under a few seconds.
+# checkpoint) and the shared-pool traversal test — the fault-injection
+# switchboard (armed/disarmed flips racing against hot-path Hit calls) and
+# the telemetry registry (concurrent histogram records, trace pool reuse,
+# logger interleaving); -short keeps it under a few seconds.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/stream/... ./internal/server/... ./internal/fault/...
+	$(GO) test -race -short ./internal/core/... ./internal/stream/... ./internal/server/... ./internal/fault/... ./internal/obs/...
 
 # Chaos gate: the fault-injection storm from internal/harness — mixed
 # traffic while shard panics, ingest delays and checkpoint fsync failures

@@ -35,12 +35,20 @@
 // testing, -faults arms the deterministic fault-injection framework (e.g.
 // -faults 'checkpoint.fsync=error;stream.shard=panic-after-100'); a tenant
 // hit by an injected worker or shard panic degrades — serving its last good
-// snapshot read-only — instead of taking the process down:
+// snapshot read-only — instead of taking the process down. Telemetry is on
+// by default (-telemetry=false disarms it to one atomic load per probe):
+// GET /metrics serves Prometheus text exposition with per-tenant and
+// aggregate latency histograms, -pprof mounts net/http/pprof under
+// /debug/pprof/, -slow-request 250ms logs a per-stage breakdown of any
+// slower request, and -log-format json|text picks the structured log
+// encoding. On startup the effective config is logged once as a
+// self-describing "serve config" line:
 //
 //	kcenter serve -addr :8080 -k 25 -shards 8
 //	kcenter serve -addr :8080 -k 25 -checkpoint /var/lib/kcenter/serve.ckpt
 //	kcenter serve -addr :8080 -k 25 -tenants 64 -default-k 10 -checkpoint-keep 3
 //	kcenter serve -addr 127.0.0.1:0 -k 10 -max-batch 1024 -read-timeout 5s
+//	kcenter serve -addr :8080 -k 25 -pprof -slow-request 250ms -log-format json
 //
 // Exit status is non-zero on any configuration or runtime error.
 package main
@@ -66,6 +74,7 @@ import (
 	"kcenter/internal/mapreduce"
 	"kcenter/internal/metric"
 	"kcenter/internal/mrg"
+	"kcenter/internal/obs"
 	"kcenter/internal/stream"
 )
 
@@ -186,6 +195,10 @@ func runServe(args []string, out io.Writer, stop <-chan os.Signal) error {
 		ckptKeep     = fs.Int("checkpoint-keep", 0, "keep the last N checkpoints per tenant as <path>.1..N for rollback (0 = none)")
 		tenants      = fs.Int("tenants", 0, "max tenants for multi-tenant serving; 0 = single-tenant mode")
 		defaultK     = fs.Int("default-k", 0, "centers for lazily created tenants without an X-Kcenter-K header (0 = -k)")
+		telemetry    = fs.Bool("telemetry", true, "arm latency telemetry: /metrics exposition and /v1/stats latency fields")
+		pprofFlag    = fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+		slowReq      = fs.Duration("slow-request", 0, "log requests at or above this latency with a per-stage breakdown (0 = off; needs -telemetry)")
+		logFormat    = fs.String("log-format", "text", "structured log encoding: text | json")
 		faults       = fs.String("faults", "", "arm deterministic fault injection, e.g. 'checkpoint.fsync=error;stream.shard=panic-after-100' (testing only)")
 		readTimeout  = fs.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "HTTP write timeout (bounds ingest queue waits)")
@@ -194,6 +207,13 @@ func runServe(args []string, out io.Writer, stop <-chan os.Signal) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	format, err := obs.ParseFormat(*logFormat)
+	if err != nil {
+		return err
+	}
+	// The serve process's structured logs (degrade, checkpoint transitions,
+	// contained panics, slow requests) go where the operator output goes.
+	obs.SetDefault(obs.NewLogger(out, format, obs.LevelInfo))
 	if *faults != "" {
 		rules, err := fault.ParseSpec(*faults)
 		if err != nil {
@@ -216,6 +236,9 @@ func runServe(args []string, out io.Writer, stop <-chan os.Signal) error {
 		CheckpointKeep:     *ckptKeep,
 		MaxTenants:         *tenants,
 		DefaultK:           *defaultK,
+		Telemetry:          *telemetry,
+		Pprof:              *pprofFlag,
+		SlowRequest:        *slowReq,
 	})
 	if err != nil {
 		return err
@@ -239,6 +262,48 @@ func runServe(args []string, out io.Writer, stop <-chan os.Signal) error {
 		WriteTimeout: *writeTimeout,
 	}
 	fmt.Fprintf(out, "serving on http://%s   k=%d   shards=%d\n", ln.Addr(), *k, *shards)
+	// One self-describing banner with the full effective config (defaults
+	// resolved), so an operator report or log capture names every knob the
+	// process actually runs with.
+	effMaxBatch := *maxBatch
+	if effMaxBatch <= 0 {
+		effMaxBatch = 4096
+	}
+	effQueue := *queueDepth
+	if effQueue <= 0 {
+		effQueue = 64
+	}
+	effShed := *shedAfter
+	if effShed == 0 {
+		effShed = time.Second
+	}
+	effCkptInterval := *ckptInterval
+	if effCkptInterval <= 0 {
+		effCkptInterval = 15 * time.Second
+	}
+	effDefaultK := *defaultK
+	if effDefaultK <= 0 {
+		effDefaultK = *k
+	}
+	obs.Default().Info("serve config",
+		"addr", ln.Addr().String(),
+		"k", *k,
+		"shards", *shards,
+		"buffer", *buffer,
+		"max_batch", effMaxBatch,
+		"queue", effQueue,
+		"shed_after", effShed,
+		"checkpoint", *ckptPath,
+		"checkpoint_interval", effCkptInterval,
+		"checkpoint_keep", *ckptKeep,
+		"tenants", *tenants,
+		"default_k", effDefaultK,
+		"telemetry", *telemetry,
+		"pprof", *pprofFlag,
+		"slow_request", *slowReq,
+		"log_format", *logFormat,
+		"faults_armed", *faults != "",
+	)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 

@@ -391,6 +391,134 @@ func TestRunServeMultiTenant(t *testing.T) {
 	}
 }
 
+// TestRunServeTelemetryFlags drives the observability surface through the
+// CLI: the startup banner names the effective config, -log-format json makes
+// the structured log machine-readable, /metrics serves Prometheus text and
+// -pprof mounts the profiling handlers.
+func TestRunServeTelemetryFlags(t *testing.T) {
+	out := &syncBuffer{}
+	stop := make(chan os.Signal, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"serve", "-addr", "127.0.0.1:0", "-k", "3",
+			"-pprof", "-slow-request", "1ns", "-log-format", "json"}, out, stop)
+	}()
+	var url string
+	deadline := time.Now().Add(10 * time.Second)
+	for url == "" {
+		if m := serveURLRe.FindStringSubmatch(out.String()); m != nil {
+			url = m[1]
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("serve exited early: %v\noutput:\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen line; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Startup banner: one JSON log line carrying the full effective config,
+	// defaults resolved (queue depth was never set, so it must read 64).
+	var banner map[string]any
+	for _, line := range strings.Split(out.String(), "\n") {
+		if !strings.Contains(line, `"serve config"`) {
+			continue
+		}
+		if err := json.Unmarshal([]byte(line), &banner); err != nil {
+			t.Fatalf("banner line %q: %v", line, err)
+		}
+		break
+	}
+	if banner == nil {
+		t.Fatalf("no serve config banner in output:\n%s", out.String())
+	}
+	for key, want := range map[string]any{
+		"k": float64(3), "queue": float64(64), "telemetry": true,
+		"pprof": true, "log_format": "json", "slow_request": "1ns",
+	} {
+		if banner[key] != want {
+			t.Fatalf("banner[%q] = %v, want %v\nbanner: %v", key, banner[key], want, banner)
+		}
+	}
+
+	resp, err := http.Post(url+"/v1/ingest", "application/json",
+		strings.NewReader(`{"points": [[0,0],[5,5]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+
+	// -slow-request 1ns means every request is "slow": the structured log
+	// must carry a per-stage breakdown for the ingest. The trace finishes
+	// (histogram observe, then log) after the response is written, so this
+	// poll also orders the /metrics scrape below after the observation.
+	slowDeadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(out.String(), `"slow request"`) {
+		if time.Now().After(slowDeadline) {
+			t.Fatalf("no slow request log; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// /metrics speaks Prometheus text exposition and carries the request
+	// histograms the ingest above just populated.
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mb bytes.Buffer
+	if _, err := mb.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d body %s", resp.StatusCode, mb.String())
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE kcenter_request_duration_seconds histogram",
+		`kcenter_request_duration_seconds_count{route="ingest"} 1`,
+		"kcenter_telemetry_armed 1",
+	} {
+		if !strings.Contains(mb.String(), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, mb.String())
+		}
+	}
+
+	// -pprof mounts the index.
+	resp, err = http.Get(url + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+
+	stop <- os.Interrupt
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve returned %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("serve did not shut down; output:\n%s", out.String())
+	}
+
+	// A bogus log format is a startup error.
+	if err := run([]string{"serve", "-log-format", "yaml"}, &syncBuffer{}, nil); err == nil {
+		t.Fatal("bogus -log-format accepted")
+	}
+}
+
 // TestRunServeFaultsFlag: -faults arms the injection framework for the
 // serve process — the first request trips the error-once decode rule, the
 // second sails through — and a malformed spec refuses to start.

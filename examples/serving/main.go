@@ -1,7 +1,8 @@
 // Serving: run the HTTP clustering service in-process and drive it the way
 // a real client fleet would — batched ingestion of a live feed over POST
 // /v1/ingest, nearest-center queries against consistent snapshots over POST
-// /v1/assign, introspection via GET /v1/centers and /v1/stats — then shut
+// /v1/assign, introspection via GET /v1/centers and /v1/stats, a telemetry
+// scrape via GET /metrics — then shut
 // it down gracefully, restart it from its checkpoint, and confirm the new
 // process resumes with the identical clustering. A second walkthrough runs
 // the server multi-tenant: two tenants created lazily by their first
@@ -18,6 +19,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net"
@@ -25,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"kcenter"
@@ -137,7 +140,7 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 	ckpt := filepath.Join(dir, "serve.ckpt")
-	srv, err := kcenter.NewServer(k, kcenter.ServerOptions{Shards: 4, CheckpointPath: ckpt})
+	srv, err := kcenter.NewServer(k, kcenter.ServerOptions{Shards: 4, CheckpointPath: ckpt, Telemetry: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -244,6 +247,26 @@ func main() {
 	resp.Body.Close()
 	fmt.Printf("stats: ingested=%d assigned=%d dist-evals=%d snapshot-builds=%d\n",
 		stats.IngestedPoints, stats.AssignPoints, stats.DistEvals, stats.SnapshotBuilds)
+
+	// The same numbers — plus the latency histograms telemetry recorded for
+	// the traffic above — as a Prometheus scrape. Aggregate families are
+	// separately named from the per-tenant ones, so sum() never double
+	// counts across the two granularities.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	scrape, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(string(scrape), "\n") {
+		if strings.HasPrefix(line, "kcenter_request_duration_seconds_count") ||
+			strings.HasPrefix(line, "kcenter_tenant_ingested_points_total") {
+			fmt.Printf("metrics: %s\n", line)
+		}
+	}
 
 	// Graceful shutdown: HTTP server first (no requests in flight), then
 	// the service — draining queued batches, flushing the final merge and

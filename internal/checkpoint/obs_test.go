@@ -1,0 +1,41 @@
+package checkpoint
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kcenter/internal/obs"
+)
+
+// TestWriteObservesDurations pins the telemetry in the write path: while the
+// registry is armed a successful Write records exactly one sample into each
+// of the process-wide write and fsync histograms, and a disarmed Write
+// records nothing. The histograms are package globals shared across tests,
+// so the assertions are on deltas, not absolute counts.
+func TestWriteObservesDurations(t *testing.T) {
+	sh := buildIngester(t, 5, 2, 500)
+	snap := Capture(sh, "")
+	dir := t.TempDir()
+
+	obs.Enable()
+	defer obs.Disable()
+	w0, f0 := obs.CheckpointWrite.Count(), obs.CheckpointFsync.Count()
+	if err := Write(filepath.Join(dir, "armed.ckpt"), snap); err != nil {
+		t.Fatal(err)
+	}
+	if d := obs.CheckpointWrite.Count() - w0; d != 1 {
+		t.Fatalf("write histogram delta %d, want 1", d)
+	}
+	if d := obs.CheckpointFsync.Count() - f0; d != 1 {
+		t.Fatalf("fsync histogram delta %d, want 1", d)
+	}
+
+	obs.Disable()
+	w1, f1 := obs.CheckpointWrite.Count(), obs.CheckpointFsync.Count()
+	if err := Write(filepath.Join(dir, "disarmed.ckpt"), snap); err != nil {
+		t.Fatal(err)
+	}
+	if obs.CheckpointWrite.Count() != w1 || obs.CheckpointFsync.Count() != f1 {
+		t.Fatal("disarmed Write recorded into the checkpoint histograms")
+	}
+}

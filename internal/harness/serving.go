@@ -39,6 +39,9 @@ type ServeSpec struct {
 	// AssignEvery makes each client issue one assign request after every
 	// AssignEvery ingest requests; 0 means 1 (strict alternation).
 	AssignEvery int
+	// Telemetry arms the obs registry for this run (server.Config.Telemetry).
+	// Process-wide and sticky: the caller owns disarming afterward.
+	Telemetry bool
 }
 
 // ServeMeasurement is the outcome of one serving load run.
@@ -98,7 +101,7 @@ func RunServe(ds *metric.Dataset, spec ServeSpec) (ServeMeasurement, error) {
 		assignEvery = 1
 	}
 
-	svc, err := server.New(server.Config{K: spec.K, Shards: shards, MaxBatch: batch})
+	svc, err := server.New(server.Config{K: spec.K, Shards: shards, MaxBatch: batch, Telemetry: spec.Telemetry})
 	if err != nil {
 		return ServeMeasurement{}, err
 	}

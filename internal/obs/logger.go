@@ -1,0 +1,182 @@
+// A small leveled, structured logger: one line per event, key=value text or
+// JSON, deterministic field order (insertion order, after ts/level/msg).
+// It replaces the serving layer's ad-hoc log.Printf calls so operator events
+// (tenant degradation, checkpoint backoff/recovery, contained panics, slow
+// requests) are machine-parseable and consistently leveled; the kcenter
+// serve CLI selects the format with -log-format json|text.
+
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+// The four levels, Debug lowest.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "invalid"
+}
+
+// Format selects the line encoding.
+type Format uint8
+
+// Text is "ts level msg key=value ..."; JSON is one object per line.
+const (
+	FormatText Format = iota
+	FormatJSON
+)
+
+// ParseFormat parses a -log-format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "text":
+		return FormatText, nil
+	case "json":
+		return FormatJSON, nil
+	}
+	return FormatText, fmt.Errorf("obs: unknown log format %q, want text or json", s)
+}
+
+// Logger writes leveled structured lines to one writer. Lines are emitted
+// under a mutex so concurrent events never interleave bytes; level checks
+// are lock-free.
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	format Format
+	level  atomic.Int32
+	// now is the clock, swappable by tests for deterministic golden lines.
+	now func() time.Time
+}
+
+// NewLogger builds a logger writing to w at the given format and minimum
+// level.
+func NewLogger(w io.Writer, format Format, level Level) *Logger {
+	l := &Logger{w: w, format: format, now: time.Now}
+	l.level.Store(int32(level))
+	return l
+}
+
+// SetLevel changes the minimum emitted level.
+func (l *Logger) SetLevel(level Level) { l.level.Store(int32(level)) }
+
+// Debug logs at LevelDebug. kv is alternating key, value pairs.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if l == nil || level < Level(l.level.Load()) {
+		return
+	}
+	ts := l.now().UTC().Format(time.RFC3339Nano)
+	var b strings.Builder
+	switch l.format {
+	case FormatJSON:
+		b.WriteString(`{"ts":`)
+		b.WriteString(strconv.Quote(ts))
+		b.WriteString(`,"level":`)
+		b.WriteString(strconv.Quote(level.String()))
+		b.WriteString(`,"msg":`)
+		b.WriteString(strconv.Quote(msg))
+		for i := 0; i+1 < len(kv); i += 2 {
+			b.WriteByte(',')
+			b.WriteString(strconv.Quote(fmt.Sprint(kv[i])))
+			b.WriteByte(':')
+			b.Write(jsonValue(kv[i+1]))
+		}
+		b.WriteString("}\n")
+	default:
+		b.WriteString(ts)
+		b.WriteByte(' ')
+		b.WriteString(strings.ToUpper(level.String()))
+		b.WriteByte(' ')
+		b.WriteString(textValue(msg))
+		for i := 0; i+1 < len(kv); i += 2 {
+			b.WriteByte(' ')
+			b.WriteString(fmt.Sprint(kv[i]))
+			b.WriteByte('=')
+			b.WriteString(textValue(fmt.Sprint(kv[i+1])))
+		}
+		b.WriteByte('\n')
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = io.WriteString(l.w, b.String())
+}
+
+// jsonValue encodes one value as JSON, falling back to its string form for
+// types encoding/json refuses (channels, funcs) so a log call never fails.
+func jsonValue(v any) []byte {
+	if d, ok := v.(time.Duration); ok {
+		// Durations as strings ("1.5ms"), not raw nanosecond integers.
+		v = d.String()
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return b
+}
+
+// textValue quotes a text-format value only when it contains whitespace,
+// '=' or quotes, keeping the common case grep-friendly.
+func textValue(s string) string {
+	if strings.ContainsAny(s, " \t\n\"=") || s == "" {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// defaultLogger is the process default, swapped atomically so Default is
+// safe to call from any goroutine while the CLI reconfigures it at startup.
+var defaultLogger atomic.Pointer[Logger]
+
+func init() {
+	defaultLogger.Store(NewLogger(os.Stderr, FormatText, LevelInfo))
+}
+
+// Default returns the process-default logger (text to stderr at info until
+// SetDefault replaces it).
+func Default() *Logger { return defaultLogger.Load() }
+
+// SetDefault replaces the process-default logger; nil is ignored.
+func SetDefault(l *Logger) {
+	if l != nil {
+		defaultLogger.Store(l)
+	}
+}

@@ -1,0 +1,85 @@
+// Prometheus text exposition (format version 0.0.4) helpers. The serving
+// layer's /metrics handler composes its reply from these; keeping the format
+// knowledge here means no handler ever hand-rolls escaping or the cumulative
+// le-bucket convention.
+
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// PromContentType is the Content-Type for text exposition format 0.0.4.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// promEscape escapes a label value per the exposition format: backslash,
+// double quote and newline.
+var promEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// formatLabels renders {a="b",c="d"}; empty string for no labels.
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(promEscaper.Replace(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value; Prometheus spells infinity "+Inf".
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteHeader writes the # HELP / # TYPE preamble for one metric family.
+// typ is "counter", "gauge" or "histogram". Write it once per family, before
+// the family's samples.
+func WriteHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteSample writes one counter or gauge sample line.
+func WriteSample(w io.Writer, name string, labels []Label, v float64) {
+	fmt.Fprintf(w, "%s%s %s\n", name, formatLabels(labels), formatValue(v))
+}
+
+// WriteHistogram writes one histogram series — the cumulative
+// name_bucket{le="..."} lines, name_sum and name_count — with the given
+// labels on every line (le appended last on buckets, per convention).
+func WriteHistogram(w io.Writer, name string, labels []Label, s HistogramSnapshot) {
+	base := formatLabels(labels)
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		cum += s.Buckets[i]
+		le := formatValue(bucketSeconds(i))
+		bl := append(append([]Label(nil), labels...), Label{"le", le})
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, formatLabels(bl), cum)
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, base, formatValue(float64(s.SumNanos)/1e9))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, base, s.Count)
+}

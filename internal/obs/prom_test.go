@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromGolden(t *testing.T) {
+	var h Histogram
+	h.Observe(500 * time.Nanosecond) // bucket 0 (le 1e-06)
+	h.Observe(time.Microsecond)      // bucket 0
+	h.Observe(3 * time.Microsecond)  // bucket 2 (le 4e-06)
+
+	var b strings.Builder
+	WriteHeader(&b, "kcenter_test_duration_seconds", "histogram", "Test family.")
+	WriteHistogram(&b, "kcenter_test_duration_seconds",
+		[]Label{{"tenant", "al\"pha"}, {"route", "ingest"}}, h.Snapshot())
+	WriteHeader(&b, "kcenter_test_total", "counter", "Test counter.")
+	WriteSample(&b, "kcenter_test_total", nil, 42)
+
+	got := b.String()
+	wantLines := []string{
+		"# HELP kcenter_test_duration_seconds Test family.",
+		"# TYPE kcenter_test_duration_seconds histogram",
+		`kcenter_test_duration_seconds_bucket{tenant="al\"pha",route="ingest",le="1e-06"} 2`,
+		`kcenter_test_duration_seconds_bucket{tenant="al\"pha",route="ingest",le="2e-06"} 2`,
+		`kcenter_test_duration_seconds_bucket{tenant="al\"pha",route="ingest",le="4e-06"} 3`,
+		`kcenter_test_duration_seconds_bucket{tenant="al\"pha",route="ingest",le="+Inf"} 3`,
+		`kcenter_test_duration_seconds_sum{tenant="al\"pha",route="ingest"} 4.5e-06`,
+		`kcenter_test_duration_seconds_count{tenant="al\"pha",route="ingest"} 3`,
+		"# HELP kcenter_test_total Test counter.",
+		"# TYPE kcenter_test_total counter",
+		"kcenter_test_total 42",
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(got, want+"\n") {
+			t.Fatalf("exposition missing line %q\n---\n%s", want, got)
+		}
+	}
+	// Cumulative buckets: counts must be non-decreasing in le order.
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	var prev int64 = -1
+	var bucketLines int
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "kcenter_test_duration_seconds_bucket") {
+			continue
+		}
+		bucketLines++
+		var v int64
+		if _, err := fmtSscan(ln, &v); err != nil {
+			t.Fatalf("unparsable bucket line %q: %v", ln, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative at %q", ln)
+		}
+		prev = v
+	}
+	if bucketLines != NumBuckets {
+		t.Fatalf("got %d bucket lines, want %d", bucketLines, NumBuckets)
+	}
+}
+
+// fmtSscan pulls the trailing integer off a sample line.
+func fmtSscan(line string, v *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	var err error
+	*v, err = strconv.ParseInt(line[i+1:], 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+func TestFormatValueInf(t *testing.T) {
+	if formatValue(bucketSeconds(NumBuckets-1)) != "+Inf" {
+		t.Fatalf("overflow le not +Inf")
+	}
+}
+
+func TestFormatLabelsEmpty(t *testing.T) {
+	if formatLabels(nil) != "" {
+		t.Fatalf("empty label set rendered %q", formatLabels(nil))
+	}
+}

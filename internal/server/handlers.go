@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"kcenter/internal/fault"
+	"kcenter/internal/obs"
 )
 
 // pointsPool recycles decoded point batches across requests. encoding/json
@@ -278,8 +279,15 @@ type statsResponse struct {
 	DroppedPoints int64 `json:"dropped_points,omitempty"`
 	// Degraded marks a tenant quarantined at runtime; DegradedError is the
 	// typed cause. Both are omitted for healthy tenants.
-	Degraded      bool          `json:"degraded,omitempty"`
-	DegradedError string        `json:"degraded_error,omitempty"`
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradedError string `json:"degraded_error,omitempty"`
+	// IngestLatency / AssignLatency summarize the tenant's end-to-end
+	// request latency distributions (p50/p99/max, from the same histograms
+	// /metrics exposes). Attached only once telemetry has recorded at least
+	// one request on the route, so replies from a disarmed process stay
+	// byte-identical to the pre-telemetry wire format.
+	IngestLatency *routeLatency `json:"ingest_latency,omitempty"`
+	AssignLatency *routeLatency `json:"assign_latency,omitempty"`
 	Snapshot      *snapshotMeta `json:"snapshot,omitempty"`
 	PerShard      []shardStats  `json:"per_shard,omitempty"`
 	// Tenant names the tenant this reply describes (multi-tenant mode
@@ -305,6 +313,10 @@ func (s *Service) routes() {
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/tenants", s.handleTenants)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.cfg.Pprof {
+		registerPprof(s.mux)
+	}
 	// Catch-all so unknown routes honor the JSON error contract instead of
 	// the default text/plain 404 page.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -550,6 +562,13 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	// Trace the request's stages (nil, and free, while obs is disarmed).
+	// Metrics attach once the tenant resolves; requests that fail before
+	// that have no tenant to attribute to and are discarded on Finish.
+	tr := obs.StartTrace(obs.RouteIngest)
+	var trMetrics *obs.TenantMetrics
+	var trTenant string
+	defer func() { tr.Finish(trMetrics, trTenant) }()
 	req := s.decodePoints(w, r)
 	if req == nil {
 		return
@@ -563,6 +582,7 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		putPointsBuf(batch)
 		return
 	}
+	tr.Mark(obs.StageDecode)
 	name, ok := mergeTenantName(w, r, req.Tenant)
 	if !ok {
 		putPointsBuf(batch)
@@ -573,6 +593,7 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		putPointsBuf(batch)
 		return
 	}
+	trMetrics, trTenant = t.metrics, t.name
 	// A degraded tenant (quarantined after a contained worker/shard panic)
 	// keeps answering queries from its last good snapshot but accepts no new
 	// data — queued batches would be silently discarded, so refuse up front.
@@ -593,9 +614,14 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n := len(batch)
+	// The tenant-resolution span between decode and enqueue is nobody's
+	// latency stage; drop it so queue_wait measures only the enqueue.
+	tr.Skip()
 	// enqueue transfers batch ownership to the tenant's queue; the ingest
 	// worker recycles it after copying into the shard slabs.
-	if err := t.enqueue(r.Context(), batch); err != nil {
+	err := t.enqueue(r.Context(), batch)
+	tr.Mark(obs.StageQueueWait) // ~0 with queue space, up to ShedAfter shed
+	if err != nil {
 		putPointsBuf(batch)
 		if errors.Is(err, errOverCapacity) {
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
@@ -614,6 +640,7 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		PendingBatches: t.pendingBatches.Load(),
 		IngestedTotal:  t.ingestedPoints.Load(),
 	})
+	tr.Mark(obs.StageEncode)
 }
 
 func meta(qs *querySnapshot) snapshotMeta {
@@ -631,12 +658,17 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	tr := obs.StartTrace(obs.RouteAssign)
+	var trMetrics *obs.TenantMetrics
+	var trTenant string
+	defer func() { tr.Finish(trMetrics, trTenant) }()
 	req := s.decodePoints(w, r)
 	if req == nil {
 		return
 	}
 	batch := req.Points
 	defer putPointsBuf(batch) // assign only reads the batch; recycle on every path
+	tr.Mark(obs.StageDecode)
 	name, ok := mergeTenantName(w, r, req.Tenant)
 	if !ok {
 		return
@@ -645,14 +677,17 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 	if t == nil {
 		return
 	}
+	trMetrics, trTenant = t.metrics, t.name
 	dim := t.dimInt()
 	if dim == 0 {
 		writeError(w, http.StatusConflict, "no points ingested yet")
 		return
 	}
+	tr.Skip() // tenant resolution: nobody's latency stage
 	if !validatePoints(w, batch, dim) {
 		return
 	}
+	tr.Mark(obs.StageDecode) // per-point validation accumulates into decode
 	qs, err := t.snapshot()
 	if err != nil {
 		if errors.Is(err, ErrTenantFailed) {
@@ -664,6 +699,7 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "no centers yet: "+err.Error())
 		return
 	}
+	tr.Mark(obs.StageSnapshot)
 	resp := assignResponse{
 		Snapshot:    meta(qs),
 		Assignments: make([]assignment, len(batch)),
@@ -674,6 +710,7 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 		evals += e
 		resp.Assignments[i] = assignment{Center: c, Distance: math.Sqrt(sq)}
 	}
+	tr.Mark(obs.StageKernel)
 	t.assignRequests.Add(1)
 	t.assignPoints.Add(int64(len(batch)))
 	t.distEvals.Add(evals)
@@ -681,6 +718,7 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 	expstats.Add("assign_points", int64(len(batch)))
 	expstats.Add("assign_dist_evals", evals)
 	writeJSON(w, http.StatusOK, resp)
+	tr.Mark(obs.StageEncode)
 }
 
 func (s *Service) handleCenters(w http.ResponseWriter, r *http.Request) {
@@ -812,6 +850,10 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if t.restored != nil {
 		resp.RestoredPoints = t.restored.Ingested
+	}
+	if m := t.metrics; m != nil {
+		resp.IngestLatency = routeLatencyFrom(&m.Routes[obs.RouteIngest].Total)
+		resp.AssignLatency = routeLatencyFrom(&m.Routes[obs.RouteAssign].Total)
 	}
 	// Per-shard state is read live (cheap per-shard read locks, no merge)
 	// so its counters stay consistent with ingested_points above instead of

@@ -11,10 +11,11 @@ package server
 
 import (
 	"fmt"
-	"log"
 	"net/http"
 	"sort"
 	"time"
+
+	"kcenter/internal/obs"
 )
 
 // healthzResponse is the GET /v1/healthz reply.
@@ -101,7 +102,8 @@ func (s *Service) Handler() http.Handler {
 			if v := recover(); v != nil {
 				s.handlerPanics.Add(1)
 				expstats.Add("handler_panics", 1)
-				log.Printf("kcenter/server: contained panic in %s %s: %v", r.Method, r.URL.Path, v)
+				obs.Default().Error("contained handler panic",
+					"method", r.Method, "path", r.URL.Path, "panic", fmt.Sprint(v))
 				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
 			}
 		}()

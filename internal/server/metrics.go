@@ -1,0 +1,266 @@
+// GET /metrics: Prometheus text-format exposition (version 0.0.4) of the
+// whole telemetry surface — per-tenant and aggregate request/stage latency
+// histograms (live while Config.Telemetry armed the obs registry), the
+// service counters /v1/stats also reports, tenant health gauges, the PR 7
+// fault/degradation signals, shard channel dwell, burst occupancy, and the
+// process-wide checkpoint write/fsync durations. Scrapes read atomics and
+// take per-tenant histogram snapshots; they never merge clusterings or take
+// shard locks beyond the per-shard stat reads, so a scraper cannot perturb
+// the serving path.
+//
+// Naming: per-tenant series carry a {tenant=...} label under a
+// kcenter_tenant_* family; the process aggregates are separately named
+// kcenter_* families built by merging the per-tenant histogram snapshots at
+// scrape time — exact, because every histogram shares the same bucket
+// bounds — so sum()-style double counting across the two granularities is
+// impossible by construction.
+
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+
+	"kcenter/internal/fault"
+	"kcenter/internal/obs"
+)
+
+// routeLatency is the /v1/stats distribution summary for one route, derived
+// from the same histogram /metrics exposes in full.
+type routeLatency struct {
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+	Count int64   `json:"count"`
+}
+
+// routeLatencyFrom summarizes one route's end-to-end histogram; nil while
+// the histogram is empty (telemetry disarmed, or no requests yet), so the
+// stats field stays omitted and pre-telemetry replies are byte-identical.
+func routeLatencyFrom(h *obs.Histogram) *routeLatency {
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return nil
+	}
+	return &routeLatency{
+		P50Ms: s.Quantile(0.50).Seconds() * 1e3,
+		P99Ms: s.Quantile(0.99).Seconds() * 1e3,
+		MaxMs: (time.Duration(s.MaxNanos)).Seconds() * 1e3,
+		Count: s.Count,
+	}
+}
+
+// registerPprof mounts the net/http/pprof handlers on mux (Config.Pprof
+// gates the call). The pprof package's init also registers on
+// http.DefaultServeMux, but the service never serves that mux, so without
+// this explicit mount the endpoints stay unreachable.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// tenantScrape is one tenant's snapshot taken at the top of a scrape, so
+// every family in the reply describes the same instant per tenant.
+type tenantScrape struct {
+	t *tenant
+	// reqs / stages are the per-route histogram snapshots; stream the shard
+	// dwell one.
+	reqs   [obs.NumRoutes]obs.HistogramSnapshot
+	stages [obs.NumRoutes][obs.NumStages]obs.HistogramSnapshot
+	stream obs.HistogramSnapshot
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.tmu.RLock()
+	all := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		all = append(all, t)
+	}
+	s.tmu.RUnlock()
+	sort.Slice(all, func(i, j int) bool { return tenantNameLess(all[i].name, all[j].name) })
+
+	scrapes := make([]tenantScrape, 0, len(all))
+	var degraded, failed int
+	for _, t := range all {
+		switch {
+		case t.failed != nil:
+			failed++
+		case t.checkDegraded() != nil:
+			degraded++
+		}
+		ts := tenantScrape{t: t}
+		if m := t.metrics; m != nil {
+			for ro := obs.Route(0); ro < obs.NumRoutes; ro++ {
+				ts.reqs[ro] = m.Routes[ro].Total.Snapshot()
+				for st := obs.Stage(0); st < obs.NumStages; st++ {
+					ts.stages[ro][st] = m.Routes[ro].Stages[st].Snapshot()
+				}
+			}
+			ts.stream = m.Stream.Dwell.Snapshot()
+		}
+		scrapes = append(scrapes, ts)
+	}
+
+	w.Header().Set("Content-Type", obs.PromContentType)
+
+	// Process gauges.
+	obs.WriteHeader(w, "kcenter_up", "gauge", "1 while the service answers.")
+	obs.WriteSample(w, "kcenter_up", nil, 1)
+	obs.WriteHeader(w, "kcenter_uptime_seconds", "gauge", "Seconds since the service started.")
+	obs.WriteSample(w, "kcenter_uptime_seconds", nil, time.Since(s.started).Seconds())
+	obs.WriteHeader(w, "kcenter_telemetry_armed", "gauge", "1 while the obs registry records (Config.Telemetry).")
+	obs.WriteSample(w, "kcenter_telemetry_armed", nil, boolGauge(obs.Enabled()))
+	obs.WriteHeader(w, "kcenter_fault_injection_armed", "gauge", "1 while the internal/fault switchboard is armed.")
+	obs.WriteSample(w, "kcenter_fault_injection_armed", nil, boolGauge(fault.Enabled()))
+	obs.WriteHeader(w, "kcenter_handler_panics_total", "counter", "Panics the HTTP recovery middleware contained.")
+	obs.WriteSample(w, "kcenter_handler_panics_total", nil, float64(s.handlerPanics.Load()))
+
+	// Tenant health.
+	obs.WriteHeader(w, "kcenter_tenants", "gauge", "Registered tenants by status.")
+	obs.WriteSample(w, "kcenter_tenants", []obs.Label{{Name: "status", Value: "active"}},
+		float64(len(all)-degraded-failed))
+	obs.WriteSample(w, "kcenter_tenants", []obs.Label{{Name: "status", Value: "degraded"}}, float64(degraded))
+	obs.WriteSample(w, "kcenter_tenants", []obs.Label{{Name: "status", Value: "failed"}}, float64(failed))
+
+	// Per-tenant counters, one family per counter so types stay honest.
+	counters := []struct {
+		name, help string
+		read       func(*tenant) int64
+	}{
+		{"kcenter_tenant_accepted_points_total", "Points validated and queued.",
+			func(t *tenant) int64 { return t.acceptedPoints.Load() }},
+		{"kcenter_tenant_ingested_points_total", "Points handed to the sharded ingester.",
+			func(t *tenant) int64 { return t.ingestedPoints.Load() }},
+		{"kcenter_tenant_assign_points_total", "Points assigned to centers.",
+			func(t *tenant) int64 { return t.assignPoints.Load() }},
+		{"kcenter_tenant_shed_points_total", "Points shed with 429 at the queue watermark.",
+			func(t *tenant) int64 { return t.shedPoints.Load() }},
+		{"kcenter_tenant_dropped_points_total", "Accepted points discarded by a degraded tenant.",
+			func(t *tenant) int64 { return t.totalDropped() }},
+		{"kcenter_tenant_checkpoint_writes_total", "Successful checkpoint writes.",
+			func(t *tenant) int64 { return t.ckptWrites.Load() }},
+		{"kcenter_tenant_checkpoint_errors_total", "Failed checkpoint writes.",
+			func(t *tenant) int64 { return t.ckptErrors.Load() }},
+		{"kcenter_tenant_snapshot_builds_total", "Query snapshot rebuilds (center set changed).",
+			func(t *tenant) int64 { return t.snapshotBuilds.Load() }},
+		{"kcenter_tenant_burst_drains_total", "Shard burst-drain rounds.",
+			func(t *tenant) int64 { return streamCounter(t, false) }},
+		{"kcenter_tenant_burst_messages_total", "Messages consumed by burst drains (ratio to drains = mean burst occupancy).",
+			func(t *tenant) int64 { return streamCounter(t, true) }},
+	}
+	for _, c := range counters {
+		obs.WriteHeader(w, c.name, "counter", c.help)
+		for _, ts := range scrapes {
+			obs.WriteSample(w, c.name, tenantLabel(ts.t), float64(c.read(ts.t)))
+		}
+	}
+	obs.WriteHeader(w, "kcenter_tenant_pending_batches", "gauge", "Batches queued but not yet pushed.")
+	for _, ts := range scrapes {
+		obs.WriteSample(w, "kcenter_tenant_pending_batches", tenantLabel(ts.t), float64(ts.t.pendingBatches.Load()))
+	}
+
+	// Request latency histograms: per-tenant, then the exact aggregate from
+	// merging the per-tenant snapshots (identical bucket bounds everywhere).
+	obs.WriteHeader(w, "kcenter_tenant_request_duration_seconds", "histogram",
+		"End-to-end request latency per tenant and route.")
+	var aggReq [obs.NumRoutes]obs.HistogramSnapshot
+	for _, ts := range scrapes {
+		for ro := obs.Route(0); ro < obs.NumRoutes; ro++ {
+			obs.WriteHistogram(w, "kcenter_tenant_request_duration_seconds",
+				append(tenantLabel(ts.t), obs.Label{Name: "route", Value: ro.String()}), ts.reqs[ro])
+			aggReq[ro].Merge(ts.reqs[ro])
+		}
+	}
+	obs.WriteHeader(w, "kcenter_request_duration_seconds", "histogram",
+		"End-to-end request latency per route, aggregated over tenants.")
+	for ro := obs.Route(0); ro < obs.NumRoutes; ro++ {
+		obs.WriteHistogram(w, "kcenter_request_duration_seconds",
+			[]obs.Label{{Name: "route", Value: ro.String()}}, aggReq[ro])
+	}
+
+	// Stage latency histograms. Empty (route, stage) pairs are skipped per
+	// tenant — a route never uses every stage — but aggregates always list
+	// the stages that recorded anywhere.
+	obs.WriteHeader(w, "kcenter_tenant_stage_duration_seconds", "histogram",
+		"Per-stage latency per tenant and route (stages a route never runs are omitted).")
+	var aggStage [obs.NumRoutes][obs.NumStages]obs.HistogramSnapshot
+	for _, ts := range scrapes {
+		for ro := obs.Route(0); ro < obs.NumRoutes; ro++ {
+			for st := obs.Stage(0); st < obs.NumStages; st++ {
+				aggStage[ro][st].Merge(ts.stages[ro][st])
+				if ts.stages[ro][st].Count == 0 {
+					continue
+				}
+				obs.WriteHistogram(w, "kcenter_tenant_stage_duration_seconds",
+					append(tenantLabel(ts.t),
+						obs.Label{Name: "route", Value: ro.String()},
+						obs.Label{Name: "stage", Value: st.String()}), ts.stages[ro][st])
+			}
+		}
+	}
+	obs.WriteHeader(w, "kcenter_stage_duration_seconds", "histogram",
+		"Per-stage latency per route, aggregated over tenants.")
+	for ro := obs.Route(0); ro < obs.NumRoutes; ro++ {
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			if aggStage[ro][st].Count == 0 {
+				continue
+			}
+			obs.WriteHistogram(w, "kcenter_stage_duration_seconds",
+				[]obs.Label{{Name: "route", Value: ro.String()}, {Name: "stage", Value: st.String()}},
+				aggStage[ro][st])
+		}
+	}
+
+	// Shard channel dwell: how long ingest messages waited for their shard.
+	obs.WriteHeader(w, "kcenter_tenant_shard_dwell_seconds", "histogram",
+		"Time ingest messages dwelt in shard channels before being summarized.")
+	var aggDwell obs.HistogramSnapshot
+	for _, ts := range scrapes {
+		obs.WriteHistogram(w, "kcenter_tenant_shard_dwell_seconds", tenantLabel(ts.t), ts.stream)
+		aggDwell.Merge(ts.stream)
+	}
+	obs.WriteHeader(w, "kcenter_shard_dwell_seconds", "histogram",
+		"Shard channel dwell aggregated over tenants.")
+	obs.WriteHistogram(w, "kcenter_shard_dwell_seconds", nil, aggDwell)
+
+	// Process-wide checkpoint durations (no tenant: the write path is
+	// shared by every tenant's checkpoint loop).
+	obs.WriteHeader(w, "kcenter_checkpoint_write_duration_seconds", "histogram",
+		"Full atomic checkpoint write duration, successful writes only.")
+	obs.WriteHistogram(w, "kcenter_checkpoint_write_duration_seconds", nil, obs.CheckpointWrite.Snapshot())
+	obs.WriteHeader(w, "kcenter_checkpoint_fsync_duration_seconds", "histogram",
+		"Checkpoint temp-file fsync duration.")
+	obs.WriteHistogram(w, "kcenter_checkpoint_fsync_duration_seconds", nil, obs.CheckpointFsync.Snapshot())
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func tenantLabel(t *tenant) []obs.Label {
+	return []obs.Label{{Name: "tenant", Value: t.name}}
+}
+
+// streamCounter reads a tenant's burst counters, tolerating quarantined
+// tenants whose metrics never recorded.
+func streamCounter(t *tenant, messages bool) int64 {
+	if t.metrics == nil {
+		return 0
+	}
+	if messages {
+		return t.metrics.Stream.BurstMessages.Load()
+	}
+	return t.metrics.Stream.Bursts.Load()
+}

@@ -8,7 +8,7 @@
 // the original single-tenant wire format.
 //
 // The paper makes k-center fast enough to serve at scale; this package is
-// where that capacity meets traffic. Six endpoints:
+// where that capacity meets traffic. Seven endpoints:
 //
 //	POST /v1/ingest   batched point ingestion. Batches are validated, then
 //	                  enqueued on the tenant's bounded queue consumed by
@@ -40,6 +40,21 @@
 //	                  ready is "not shutting down" (503 when it is);
 //	                  degraded and failed tenants are listed but do not
 //	                  fail readiness — their siblings still serve.
+//	GET  /metrics     Prometheus text-format exposition: per-tenant and
+//	                  aggregate request/stage latency histograms (live only
+//	                  with Config.Telemetry), the service counters, tenant
+//	                  health gauges, shard dwell and checkpoint durations.
+//
+// Observability (Config.Telemetry, the internal/obs registry): handlers
+// trace each ingest/assign request through its stages (decode, queue wait,
+// snapshot, kernel scan, encode; the shard push of a dequeued batch is
+// recorded by the ingest worker), shard channels report message dwell and
+// burst occupancy, and the checkpoint path reports write/fsync durations.
+// The same histograms back /metrics, the p50/p99/max latency fields in
+// /v1/stats, and the threshold-gated slow-request log (Config.SlowRequest).
+// Disarmed, every instrumentation point costs one atomic load — the
+// internal/fault discipline. Config.Pprof additionally mounts the
+// net/http/pprof handlers under /debug/pprof/.
 //
 // Tenant semantics: unknown tenants are 404 on query endpoints, lazily
 // created on ingest (multi-tenant mode only); a creation past MaxTenants is
@@ -96,6 +111,7 @@ import (
 	"time"
 
 	"kcenter/internal/metric"
+	"kcenter/internal/obs"
 	"kcenter/internal/stream"
 )
 
@@ -152,6 +168,21 @@ type Config struct {
 	// DefaultK is the center budget for lazily created tenants that do not
 	// pin their own with the X-Kcenter-K header; 0 means K.
 	DefaultK int
+	// Telemetry arms the process-wide obs package (per-stage latency
+	// histograms, request traces, shard dwell, checkpoint durations) so GET
+	// /metrics and the /v1/stats latency fields carry live distributions.
+	// Disarmed, every instrumentation point costs one atomic load. Note the
+	// flag is process-wide, like the registry it arms: one Service enabling
+	// it enables recording for every Service in the process.
+	Telemetry bool
+	// Pprof mounts the net/http/pprof handlers under /debug/pprof/ on the
+	// service mux. Off by default: profiling endpoints expose memory
+	// contents and must be an explicit operator decision.
+	Pprof bool
+	// SlowRequest, when > 0, logs any traced request whose end-to-end
+	// latency meets the threshold — one structured line with the per-stage
+	// breakdown. Requires Telemetry. 0 disables the slow-request log.
+	SlowRequest time.Duration
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -181,6 +212,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.DefaultK <= 0 {
 		c.DefaultK = c.K
+	}
+	if c.SlowRequest < 0 {
+		c.SlowRequest = 0
 	}
 	return c, nil
 }
@@ -251,6 +285,13 @@ func New(cfg Config) (*Service, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Telemetry {
+		// Process-wide, by design (the obs registry follows internal/fault's
+		// global-switchboard discipline). Never auto-disarmed: tests that
+		// need a disarmed process call obs.Disable themselves.
+		obs.Enable()
+		obs.SetSlowThreshold(cfg.SlowRequest)
 	}
 	s := &Service{
 		cfg:     cfg,

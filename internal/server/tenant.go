@@ -12,7 +12,6 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,6 +23,7 @@ import (
 	"kcenter/internal/checkpoint"
 	"kcenter/internal/fault"
 	"kcenter/internal/metric"
+	"kcenter/internal/obs"
 	"kcenter/internal/stream"
 )
 
@@ -83,6 +83,12 @@ type tenant struct {
 	qmu   sync.RWMutex
 
 	dim atomic.Int64 // first-seen point dimensionality; 0 = none yet
+
+	// metrics is this tenant's telemetry set: per-route request/stage
+	// latency histograms (fed by the handler traces and the ingest worker)
+	// plus the stream shard metrics its ingester records into. Always
+	// non-nil for a live tenant; recording happens only while obs is armed.
+	metrics *obs.TenantMetrics
 
 	// Counters, reported by /v1/stats (per tenant) and mirrored into the
 	// process-wide expvar map.
@@ -189,10 +195,12 @@ func (s *Service) newTenant(name string, k, shards int) (*tenant, error) {
 	if shards <= 0 {
 		shards = s.cfg.Shards
 	}
+	metrics := obs.NewTenantMetrics()
 	sh, err := stream.NewSharded(stream.ShardedConfig{
 		K:      k,
 		Shards: shards,
 		Buffer: s.cfg.Buffer,
+		Obs:    &metrics.Stream,
 	})
 	if err != nil {
 		return nil, err
@@ -203,6 +211,7 @@ func (s *Service) newTenant(name string, k, shards int) (*tenant, error) {
 		shards:  shards,
 		svc:     s,
 		sh:      sh,
+		metrics: metrics,
 		queue:   make(chan [][]float64, s.cfg.QueueDepth),
 		created: time.Now(),
 	}
@@ -381,6 +390,7 @@ func (s *Service) quarantine(name string, cause error) {
 	s.tenants[name] = &tenant{
 		name:    name,
 		svc:     s,
+		metrics: obs.NewTenantMetrics(),
 		created: time.Now(),
 		failed:  fmt.Errorf("%w: %w", ErrTenantFailed, cause),
 	}
@@ -443,7 +453,8 @@ func (t *tenant) degrade(cause error) {
 		at:  time.Now(),
 	}
 	if t.degraded.CompareAndSwap(nil, info) {
-		log.Printf("kcenter/server: tenant %q degraded, serving last good snapshot read-only: %v", t.name, cause)
+		obs.Default().Warn("tenant degraded, serving last good snapshot read-only",
+			"tenant", t.name, "err", cause.Error())
 		expstats.Add("degraded_tenants", 1)
 	}
 }
@@ -513,12 +524,14 @@ func (t *tenant) writeCheckpoint() error {
 		t.ckptFailStreak++
 		t.ckptRetryAt = now.Add(ckptBackoff(t.svc.cfg.CheckpointInterval, t.ckptFailStreak))
 		if t.ckptFailStreak == 1 {
-			log.Printf("kcenter/server: tenant %q: checkpoint failing, backing off: %v", t.name, err)
+			obs.Default().Warn("checkpoint failing, backing off",
+				"tenant", t.name, "err", err.Error())
 		}
 		return err
 	}
 	if t.ckptFailStreak > 0 {
-		log.Printf("kcenter/server: tenant %q: checkpoint healthy again after %d failed attempts", t.name, t.ckptFailStreak)
+		obs.Default().Info("checkpoint healthy again",
+			"tenant", t.name, "failed_attempts", t.ckptFailStreak)
 	}
 	t.ckptFailStreak = 0
 	t.ckptRetryAt = time.Time{}
@@ -617,8 +630,13 @@ func (t *tenant) ingestOne(batch [][]float64) {
 	// dimensions; a failure here would mean Push-after-Finish, which the
 	// drain ordering in Close rules out. The batch goes to the shards as
 	// one striped slab per shard (O(shards) allocations and sends instead
-	// of O(points)) with routing identical to per-point pushes.
+	// of O(points)) with routing identical to per-point pushes. The push
+	// span is the ingest route's asynchronous stage: it belongs to the
+	// batch, not to the request that queued it, so it is recorded here
+	// rather than in the handler's trace.
+	pushStart := obs.Started()
 	if err := t.sh.PushBatch(batch); err == nil {
+		t.metrics.StageHist(obs.RouteIngest, obs.StagePush).ObserveSince(pushStart)
 		t.ingestedPoints.Add(int64(len(batch)))
 		expstats.Add("ingested_points", int64(len(batch)))
 	} else {

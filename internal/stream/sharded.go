@@ -10,10 +10,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kcenter/internal/core"
 	"kcenter/internal/fault"
 	"kcenter/internal/metric"
+	"kcenter/internal/obs"
 )
 
 // ErrEmpty reports a Snapshot or Finish on a stream that has ingested
@@ -42,6 +44,12 @@ type ShardedConfig struct {
 	// Metric configures every shard Summary and the final merge; nil means
 	// Euclidean.
 	Metric metric.Interface
+	// Obs, when non-nil, receives shard-side telemetry while the obs
+	// package is armed: how long each message dwelt in its shard channel
+	// (the ingest pipeline's internal queue wait) and burst-drain occupancy
+	// counters. nil — or obs disarmed — records nothing and costs at most
+	// one atomic load per message.
+	Obs *obs.StreamMetrics
 }
 
 // ShardStats reports one shard's final state.
@@ -91,6 +99,10 @@ type Result struct {
 type shardMsg struct {
 	slab []float64
 	dim  int
+	// sent is the producer's send timestamp (UnixNano), set only when the
+	// ingester has an Obs sink and obs is armed; 0 means "not measured".
+	// The consuming shard observes now-sent as the message's channel dwell.
+	sent int64
 }
 
 // Sharded fans an insertion-only point stream out across goroutine-owned
@@ -189,6 +201,15 @@ type shardFailure struct {
 func (s *Sharded) consumeBurst(shard int, msg shardMsg) {
 	ch, lock := s.chans[shard], &s.sumLocks[shard]
 	cur := msg
+	drained := 1
+	if s.cfg.Obs != nil && obs.Enabled() {
+		// One burst-drain round: its message count over Bursts is the mean
+		// burst occupancy (1 = no batching benefit, maxDrain under backlog).
+		defer func() {
+			s.cfg.Obs.Bursts.Add(1)
+			s.cfg.Obs.BurstMessages.Add(int64(drained))
+		}()
+	}
 	lock.Lock()
 	defer lock.Unlock()
 	defer func() {
@@ -219,6 +240,7 @@ func (s *Sharded) consumeBurst(shard int, msg shardMsg) {
 				return
 			}
 			cur = more
+			drained++
 			s.consume(sum, more)
 		default:
 			return
@@ -229,6 +251,11 @@ func (s *Sharded) consumeBurst(shard int, msg shardMsg) {
 // consume summarizes one message's rows into sum (caller holds the shard
 // lock) and recycles the slab.
 func (s *Sharded) consume(sum *Summary, msg shardMsg) {
+	if msg.sent != 0 && s.cfg.Obs != nil {
+		// Producer stamped the send (obs was armed): observe the channel
+		// dwell — the time this slab waited for its shard goroutine.
+		s.cfg.Obs.Dwell.Observe(time.Duration(time.Now().UnixNano() - msg.sent))
+	}
 	// Injection point for chaos testing: an armed error or panic rule
 	// panics here (the consume path has no error channel), exercising the
 	// same containment as an organic Summary.Push panic; a delay rule
@@ -281,6 +308,19 @@ func (s *Sharded) getSlab(n int) []float64 {
 // putSlab recycles a processed message slab.
 func (s *Sharded) putSlab(slab []float64) {
 	s.slabs.Put(&slab)
+}
+
+// sendStamp returns the timestamp outgoing messages should carry: UnixNano
+// when this ingester has an Obs sink and the obs package is armed, 0 (no
+// clock read) otherwise.
+func (s *Sharded) sendStamp() int64 {
+	if s.cfg.Obs == nil {
+		return 0
+	}
+	if t0 := obs.Started(); !t0.IsZero() {
+		return t0.UnixNano()
+	}
+	return 0
 }
 
 // CentersVersion returns the sum of the shard summaries' center-set version
@@ -432,7 +472,7 @@ func (s *Sharded) Push(p []float64) error {
 		return fmt.Errorf("stream: Push after Finish")
 	}
 	i := s.next.Add(1) - 1
-	s.chans[i%uint64(len(s.chans))] <- shardMsg{slab: slab, dim: len(p)}
+	s.chans[i%uint64(len(s.chans))] <- shardMsg{slab: slab, dim: len(p), sent: s.sendStamp()}
 	return nil
 }
 
@@ -475,6 +515,7 @@ func (s *Sharded) PushBatch(points [][]float64) error {
 	base := s.next.Add(m) - m
 	nsh := uint64(len(s.chans))
 	dim := int(d)
+	sent := s.sendStamp()
 	for sh := uint64(0); sh < nsh; sh++ {
 		// This shard's stripe starts at the first j with (base+j)≡sh and
 		// advances by the shard count, preserving sequential-Push order;
@@ -491,7 +532,7 @@ func (s *Sharded) PushBatch(points [][]float64) error {
 			copy(slab[off:off+dim], points[j])
 			off += dim
 		}
-		s.chans[sh] <- shardMsg{slab: slab, dim: dim}
+		s.chans[sh] <- shardMsg{slab: slab, dim: dim, sent: sent}
 	}
 	return nil
 }

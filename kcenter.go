@@ -425,6 +425,17 @@ type ServerOptions struct {
 	// DefaultK is the center budget for lazily created tenants that do
 	// not pin their own with the X-Kcenter-K header; 0 means k.
 	DefaultK int
+	// Telemetry arms the process-wide telemetry registry: per-stage request
+	// latency histograms served by GET /metrics (Prometheus text format)
+	// and the p50/p99/max fields in /v1/stats. Disarmed, every
+	// instrumentation point costs one atomic load.
+	Telemetry bool
+	// Pprof mounts the net/http/pprof profiling handlers under
+	// /debug/pprof/ on the server's mux. Off by default.
+	Pprof bool
+	// SlowRequest, when > 0 (with Telemetry), logs any request at or above
+	// the threshold as one structured line with its per-stage breakdown.
+	SlowRequest time.Duration
 }
 
 // ServerRestore describes the warm start a server performed from its
@@ -493,6 +504,9 @@ func NewServer(k int, opt ServerOptions) (*Server, error) {
 		CheckpointKeep:     opt.CheckpointKeep,
 		MaxTenants:         opt.MaxTenants,
 		DefaultK:           opt.DefaultK,
+		Telemetry:          opt.Telemetry,
+		Pprof:              opt.Pprof,
+		SlowRequest:        opt.SlowRequest,
 	})
 	if err != nil {
 		return nil, err

@@ -2,10 +2,10 @@
 # Canonical tier-1 gate, mirroring `make check` for environments without
 # make. Runs vet, build, the full test suite, the race-detector pass over
 # the concurrent streaming ingestion path, the serving layer (including
-# the multi-tenant create/ingest/assign/checkpoint race test) and the
-# fault-injection switchboard, a chaos smoke (the fault-injection storm
-# with its four robustness assertions), a bench smoke, and the docs gate
-# (scripts/docscheck.sh).
+# the multi-tenant create/ingest/assign/checkpoint race test), the
+# fault-injection switchboard and the telemetry registry, a chaos smoke
+# (the fault-injection storm with its four robustness assertions), a
+# bench smoke, and the docs gate (scripts/docscheck.sh).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,8 +19,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race -short ./internal/stream/... ./internal/server/... ./internal/fault/..."
-go test -race -short ./internal/stream/... ./internal/server/... ./internal/fault/...
+echo "== go test -race -short ./internal/stream/... ./internal/server/... ./internal/fault/... ./internal/obs/..."
+go test -race -short ./internal/stream/... ./internal/server/... ./internal/fault/... ./internal/obs/...
 
 # Chaos smoke: shard panics, ingest delays and checkpoint fsync failures
 # fire under mixed traffic; the experiment enforces its four robustness
