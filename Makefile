@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos bench bench-smoke bench-all docs
+.PHONY: check vet build test race chaos fuzz bench bench-smoke bench-all docs
 
-check: vet build test race chaos bench-smoke docs
+check: vet build test race chaos fuzz bench-smoke docs
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,19 @@ race:
 # for a longer storm.
 chaos:
 	$(GO) run ./cmd/experiments -exp chaos -scale 10
+
+# Fuzz gate: a short budget per native fuzz target — the HTTP decoders
+# (pooled buffers must never alias into a response), the checkpoint reader
+# (arbitrary bytes must fail typed, never panic) and the fault-spec
+# grammar. The committed seed corpora under */testdata/fuzz always run;
+# FUZZTIME adds random exploration on top (raise it to hunt, e.g.
+# `make fuzz FUZZTIME=5m`).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeIngest$$' -fuzztime $(FUZZTIME) ./internal/server
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeAssign$$' -fuzztime $(FUZZTIME) ./internal/server
+	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run '^$$' -fuzz '^FuzzParseSpec$$' -fuzztime $(FUZZTIME) ./internal/fault
 
 # Tier-1 bench smoke: one iteration of the kernel/assign/Gonzalez/stream
 # benchmarks, JSON written to a scratch path so the committed baseline is

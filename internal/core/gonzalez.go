@@ -31,6 +31,11 @@ type Result struct {
 	// MinDist[i] is the distance from point i to its nearest center.
 	// Algorithms that do not materialize it leave it nil.
 	MinDist []float64
+	// Assignment[i] is the position in Centers of point i's nearest center,
+	// carried through the traversal's relaxation passes (GonzalezAssign)
+	// instead of recomputed by a post-hoc evaluation scan. Algorithms that
+	// do not carry it leave it nil.
+	Assignment []int
 	// DistEvals counts the distance evaluations performed, the deterministic
 	// cost unit used by the simulated MapReduce cost model.
 	DistEvals int64
@@ -52,13 +57,26 @@ type Options struct {
 // the radius is zero). It panics on k <= 0 or an empty dataset, which are
 // programming errors in this repository's callers.
 func Gonzalez(ds *metric.Dataset, k int, opt Options) *Result {
-	return gonzalez(ds, k, opt, true)
+	return gonzalez(ds, k, opt, true, false)
 }
 
-// gonzalez is the traversal behind Gonzalez and GonzalezSubset; wantMinDist
-// gates the O(n) per-point distance materialization, which reducer-side
-// callers never consume.
-func gonzalez(ds *metric.Dataset, k int, opt Options, wantMinDist bool) *Result {
+// GonzalezAssign is Gonzalez with assignment carry: Result.Assignment maps
+// every point to the position of its nearest center, maintained by the
+// traversal's own relaxation passes (metric.RelaxFarthestAssign) rather
+// than a second O(n·k) evaluation scan — the centers, radius, MinDist and
+// evaluation count are bit-identical to Gonzalez, and Assignment is
+// bit-identical to assign.Evaluate over the final center set (the strict-<
+// relaxation keeps the earliest center on ties, matching Evaluate's
+// lowest-position tie-break; pinned by TestGonzalezAssignMatchesEvaluate).
+func GonzalezAssign(ds *metric.Dataset, k int, opt Options) *Result {
+	return gonzalez(ds, k, opt, true, true)
+}
+
+// gonzalez is the traversal behind Gonzalez, GonzalezAssign and
+// GonzalezSubset; wantMinDist gates the O(n) per-point distance
+// materialization, which reducer-side callers never consume, and wantAssign
+// the assignment carry.
+func gonzalez(ds *metric.Dataset, k int, opt Options, wantMinDist, wantAssign bool) *Result {
 	if k <= 0 {
 		panic(fmt.Sprintf("core: Gonzalez requires k >= 1, got %d", k))
 	}
@@ -92,10 +110,26 @@ func gonzalez(ds *metric.Dataset, k int, opt Options, wantMinDist bool) *Result 
 	for i := range minSq {
 		minSq[i] = math.Inf(1)
 	}
+	// The assignment carry threads per-point nearest-center positions
+	// through the same relaxation passes: the first pass relaxes every
+	// point from +Inf, so every entry is written before it is ever read.
+	var assigned []int
+	var scratch []float64
+	if wantAssign {
+		assigned = make([]int, n)
+		scratch = make([]float64, n)
+	}
 	center := first
 	for len(res.Centers) < k {
 		res.Centers = append(res.Centers, center)
-		next, far := metric.RelaxFarthest(ds, 0, n, ds.At(center), minSq)
+		var next int
+		var far float64
+		if wantAssign {
+			next, far = metric.RelaxFarthestAssign(ds, 0, n, ds.At(center),
+				len(res.Centers)-1, minSq, assigned, scratch)
+		} else {
+			next, far = metric.RelaxFarthest(ds, 0, n, ds.At(center), minSq)
+		}
 		res.DistEvals += int64(n)
 		if len(res.Centers) == k {
 			res.Radius = math.Sqrt(far)
@@ -115,6 +149,7 @@ func gonzalez(ds *metric.Dataset, k int, opt Options, wantMinDist bool) *Result 
 			res.MinDist[i] = math.Sqrt(sq)
 		}
 	}
+	res.Assignment = assigned
 	return res
 }
 
@@ -140,7 +175,7 @@ func GonzalezSubset(ds *metric.Dataset, idx []int, k int, opt Options) *Result {
 	// Subset results never materialize per-point distances (they would be
 	// indexed by position, not dataset index, and no reducer-side caller
 	// wants them), so the traversal skips that O(n) pass entirely.
-	res := gonzalez(sub, k, opt, false)
+	res := gonzalez(sub, k, opt, false, false)
 	for i, pos := range res.Centers {
 		res.Centers[i] = idx[pos]
 	}

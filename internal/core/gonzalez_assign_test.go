@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"kcenter/internal/assign"
+	"kcenter/internal/dataset"
+	"kcenter/internal/metric"
+)
+
+// TestGonzalezAssignMatchesEvaluate pins the assignment-carry contract:
+// the traversal-carried assignment (and MinDist) of GonzalezAssign must be
+// bit-identical to a post-hoc assign.Evaluate pass over the same centers —
+// the strict-< relaxation keeps the earliest center on equal distances,
+// which is exactly Evaluate's lowest-position tie-break — and the centers,
+// radius and evaluation count must match plain Gonzalez exactly.
+func TestGonzalezAssignMatchesEvaluate(t *testing.T) {
+	cases := []struct {
+		name string
+		ds   *metric.Dataset
+		k    int
+	}{
+		{"unif-2d", dataset.Unif(dataset.UnifConfig{N: 800, Seed: 3}).Points, 12},
+		{"gau-2d", dataset.Gau(dataset.GauConfig{N: 1000, KPrime: 8, Seed: 9}).Points, 8},
+		{"k1", dataset.Unif(dataset.UnifConfig{N: 200, Seed: 5}).Points, 1},
+		{"k-ge-n", dataset.Unif(dataset.UnifConfig{N: 6, Seed: 7}).Points, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plain := Gonzalez(tc.ds, tc.k, Options{First: 0})
+			carried := GonzalezAssign(tc.ds, tc.k, Options{First: 0})
+
+			if len(carried.Centers) != len(plain.Centers) {
+				t.Fatalf("center count: carried %d, plain %d", len(carried.Centers), len(plain.Centers))
+			}
+			for i := range plain.Centers {
+				if carried.Centers[i] != plain.Centers[i] {
+					t.Fatalf("center %d: carried %d, plain %d", i, carried.Centers[i], plain.Centers[i])
+				}
+			}
+			if carried.Radius != plain.Radius {
+				t.Fatalf("radius: carried %v, plain %v", carried.Radius, plain.Radius)
+			}
+			if carried.DistEvals != plain.DistEvals {
+				t.Fatalf("dist evals: carried %d, plain %d", carried.DistEvals, plain.DistEvals)
+			}
+			for i := range plain.MinDist {
+				if carried.MinDist[i] != plain.MinDist[i] {
+					t.Fatalf("MinDist[%d]: carried %v, plain %v", i, carried.MinDist[i], plain.MinDist[i])
+				}
+			}
+
+			ev := assign.Evaluate(tc.ds, carried.Centers, 0)
+			if len(carried.Assignment) != tc.ds.N {
+				t.Fatalf("assignment length %d, want %d", len(carried.Assignment), tc.ds.N)
+			}
+			for i := 0; i < tc.ds.N; i++ {
+				if carried.Assignment[i] != ev.Assignment[i] {
+					t.Fatalf("Assignment[%d]: carried %d, Evaluate %d", i, carried.Assignment[i], ev.Assignment[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGonzalezAssignDuplicatePoints exercises the early-exit path (every
+// remaining point coincides with a center before k centers exist): the
+// carried assignment must still map every point to its coinciding center.
+func TestGonzalezAssignDuplicatePoints(t *testing.T) {
+	pts := [][]float64{{1, 1}, {5, 5}, {1, 1}, {5, 5}, {1, 1}}
+	ds, err := metric.FromPoints(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := GonzalezAssign(ds, 4, Options{First: 0})
+	if res.Radius != 0 {
+		t.Fatalf("radius %v on duplicate-only data, want 0", res.Radius)
+	}
+	ev := assign.Evaluate(ds, res.Centers, 0)
+	for i := range pts {
+		if res.Assignment[i] != ev.Assignment[i] {
+			t.Fatalf("Assignment[%d]: carried %d, Evaluate %d", i, res.Assignment[i], ev.Assignment[i])
+		}
+	}
+}

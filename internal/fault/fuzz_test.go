@@ -1,0 +1,33 @@
+package fault
+
+import "testing"
+
+// FuzzParseSpec feeds arbitrary strings to the fault-spec grammar. ParseSpec
+// is fed directly from the -faults CLI flag and an environment variable, so
+// it must never panic, and whatever it accepts must be internally coherent:
+// every parsed rule keyed by a non-empty injection point name.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("server.decode=error-once")
+	f.Add("checkpoint.write=error-always;stream.push=panic-after-3")
+	f.Add("a=delay-5ms,b=delay-10ms-after-2")
+	f.Add("a=error-after-0")
+	f.Add("=error")
+	f.Add(";;;")
+	f.Add("a=delay-")
+	f.Add("a=panic-after-")
+	f.Add("\x00=\x00")
+	f.Fuzz(func(t *testing.T, spec string) {
+		rules, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		if len(rules) == 0 {
+			t.Fatalf("ParseSpec(%q) accepted a spec with no rules", spec)
+		}
+		for point := range rules {
+			if point == "" {
+				t.Fatalf("ParseSpec(%q) produced a rule with an empty injection point", spec)
+			}
+		}
+	})
+}

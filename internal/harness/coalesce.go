@@ -1,0 +1,255 @@
+// Serve-coalesce experiment: measure what the assign coalescer buys on the
+// read path. An assign-only workload at fixed concurrency hammers one
+// frozen snapshot while the request (batch) size sweeps 1 → 256; each cell
+// runs twice — coalescing disabled, then enabled — and reports assign
+// p50/p99 and request throughput side by side, plus how many fused passes
+// actually happened. A final single-client row checks the solo-bypass
+// promise: with no concurrency the coalescer must not move p50 at all.
+
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"kcenter/internal/metric"
+	"kcenter/internal/server"
+)
+
+// ServeCoalesceSpec describes one assign-only coalescing run.
+type ServeCoalesceSpec struct {
+	// K is the number of centers; Shards the ingester shard count.
+	K, Shards int
+	// Clients is the number of concurrent assign clients.
+	Clients int
+	// Batch is the query points per assign request.
+	Batch int
+	// Requests is the assign requests issued per client.
+	Requests int
+	// Window is the server's coalesce gather window; negative disables
+	// coalescing (the baseline), 0 takes the server default.
+	Window time.Duration
+	// Max caps the requests fused per pass (0: server default).
+	Max int
+	// Seed is the number of points ingested (and drained) before the
+	// measured phase, so every request runs against one frozen snapshot.
+	Seed int
+}
+
+// ServeCoalesceMeasurement is the outcome of one run.
+type ServeCoalesceMeasurement struct {
+	// AssignP50/AssignP99 are assign request latencies in milliseconds.
+	AssignP50, AssignP99 float64
+	// ReqPerSec is completed assign requests per second of wall time.
+	ReqPerSec float64
+	// CoalesceBatches / CoalescedRequests are the server's counters after
+	// the run: fused passes executed and requests answered from them.
+	CoalesceBatches, CoalescedRequests int64
+}
+
+// RunServeCoalesce seeds a service, freezes its snapshot (no ingest during
+// measurement), then drives Clients concurrent assign-only clients and
+// reports latency percentiles, throughput and the coalescer's counters.
+func RunServeCoalesce(ds *metric.Dataset, spec ServeCoalesceSpec) (ServeCoalesceMeasurement, error) {
+	svc, err := server.New(server.Config{
+		K: spec.K, Shards: spec.Shards, MaxBatch: 512,
+		CoalesceWindow: spec.Window, CoalesceMax: spec.Max,
+	})
+	if err != nil {
+		return ServeCoalesceMeasurement{}, err
+	}
+	defer svc.Close(context.Background())
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	marshal := func(pts [][]float64) []byte {
+		b, _ := json.Marshal(struct {
+			Points [][]float64 `json:"points"`
+		}{pts})
+		return b
+	}
+	post := func(client *http.Client, path string, body []byte) (int, []byte, error) {
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			return 0, nil, err
+		}
+		return resp.StatusCode, buf.Bytes(), nil
+	}
+
+	// Seed and drain, so the measured phase queries one frozen snapshot.
+	seedN := spec.Seed
+	if seedN <= 0 || seedN > ds.N {
+		seedN = ds.N
+	}
+	for lo := 0; lo < seedN; lo += 256 {
+		hi := lo + 256
+		if hi > seedN {
+			hi = seedN
+		}
+		pts := make([][]float64, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			pts = append(pts, ds.At(i))
+		}
+		if code, body, err := post(ts.Client(), "/v1/ingest", marshal(pts)); err != nil || code != http.StatusAccepted {
+			return ServeCoalesceMeasurement{}, fmt.Errorf("seed ingest: code %d err %w body %s", code, err, body)
+		}
+	}
+	drainDeadline := time.Now().Add(30 * time.Second)
+	for {
+		var st struct {
+			Ingested int64 `json:"ingested_points"`
+		}
+		resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+		if err != nil {
+			return ServeCoalesceMeasurement{}, err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return ServeCoalesceMeasurement{}, err
+		}
+		if st.Ingested >= int64(seedN) {
+			break
+		}
+		if time.Now().After(drainDeadline) {
+			return ServeCoalesceMeasurement{}, fmt.Errorf("seed drain: %d of %d points", st.Ingested, seedN)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Per-client request bodies, distinct so responses differ per client.
+	bodies := make([][]byte, spec.Clients)
+	for c := range bodies {
+		pts := make([][]float64, spec.Batch)
+		for i := range pts {
+			pts[i] = ds.At((c*spec.Batch + i) % ds.N)
+		}
+		bodies[c] = marshal(pts)
+	}
+
+	type clientStats struct {
+		ms  []float64
+		err error
+	}
+	stats := make([]clientStats, spec.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < spec.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 60 * time.Second}
+			st := &stats[c]
+			for r := 0; r < spec.Requests; r++ {
+				t0 := time.Now()
+				code, body, err := post(client, "/v1/assign", bodies[c])
+				if err != nil {
+					st.err = err
+					return
+				}
+				if code != http.StatusOK {
+					st.err = fmt.Errorf("assign status %d: %s", code, body)
+					return
+				}
+				st.ms = append(st.ms, float64(time.Since(t0).Microseconds())/1e3)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var ms []float64
+	for c := range stats {
+		if stats[c].err != nil {
+			return ServeCoalesceMeasurement{}, stats[c].err
+		}
+		ms = append(ms, stats[c].ms...)
+	}
+	var st struct {
+		CoalesceBatches   int64 `json:"coalesce_batches"`
+		CoalescedRequests int64 `json:"coalesced_requests"`
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		return ServeCoalesceMeasurement{}, err
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		resp.Body.Close()
+		return ServeCoalesceMeasurement{}, err
+	}
+	resp.Body.Close()
+	return ServeCoalesceMeasurement{
+		AssignP50:         percentile(ms, 0.50),
+		AssignP99:         percentile(ms, 0.99),
+		ReqPerSec:         float64(len(ms)) / elapsed,
+		CoalesceBatches:   st.CoalesceBatches,
+		CoalescedRequests: st.CoalescedRequests,
+	}, nil
+}
+
+func init() {
+	registry = append(registry, Experiment{
+		ID:    "serve-coalesce",
+		Title: "Assign coalescing: fused read-path passes vs solo under concurrency, p99 and req/s",
+		Paper: "Not in the paper — extension: group-commit for the read path of the serving layer",
+		Run: func(cfg RunConfig, w io.Writer) error {
+			cfg = cfg.withDefaults()
+			n := cfg.scaled(50_000)
+			ds := genGau(25)(n, cfg.Seed)
+			const clients = 8
+			reqs := cfg.scaled(4000) / clients / 10
+			if reqs < 50 {
+				reqs = 50
+			}
+			fmt.Fprintf(w, "GAU k'=25 n=%d, k=25, shards=4, %d assign clients x %d requests, frozen snapshot; latencies in ms\n",
+				n, clients, reqs)
+			fmt.Fprintf(w, "%6s %10s %10s %10s %10s %10s %10s %8s\n",
+				"batch", "p50-off", "p50-on", "p99-off", "p99-on", "req/s-off", "req/s-on", "fused")
+			for _, batch := range []int{1, 4, 16, 64, 256} {
+				spec := ServeCoalesceSpec{K: 25, Shards: 4, Clients: clients,
+					Batch: batch, Requests: reqs, Seed: n}
+				spec.Window = -1 // baseline: coalescing disabled
+				off, err := RunServeCoalesce(ds, spec)
+				if err != nil {
+					return fmt.Errorf("batch=%d off: %w", batch, err)
+				}
+				spec.Window = 0 // server default window
+				on, err := RunServeCoalesce(ds, spec)
+				if err != nil {
+					return fmt.Errorf("batch=%d on: %w", batch, err)
+				}
+				fmt.Fprintf(w, "%6d %10.3f %10.3f %10.3f %10.3f %10.0f %10.0f %8d\n",
+					batch, off.AssignP50, on.AssignP50, off.AssignP99, on.AssignP99,
+					off.ReqPerSec, on.ReqPerSec, on.CoalesceBatches)
+			}
+			// Solo-bypass check: a single client must see an unmoved p50.
+			solo := ServeCoalesceSpec{K: 25, Shards: 4, Clients: 1, Batch: 16,
+				Requests: reqs, Seed: n}
+			solo.Window = -1
+			off, err := RunServeCoalesce(ds, solo)
+			if err != nil {
+				return fmt.Errorf("solo off: %w", err)
+			}
+			solo.Window = 0
+			on, err := RunServeCoalesce(ds, solo)
+			if err != nil {
+				return fmt.Errorf("solo on: %w", err)
+			}
+			fmt.Fprintf(w, "solo 1-client batch=16: p50 off %.3f ms, on %.3f ms (bypass: %d fused passes)\n",
+				off.AssignP50, on.AssignP50, on.CoalesceBatches)
+			return nil
+		},
+	})
+}

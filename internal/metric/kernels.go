@@ -333,6 +333,42 @@ func RelaxFarthest(ds *Dataset, lo, hi int, q []float64, minSq []float64) (int, 
 	return next, far
 }
 
+// RelaxFarthestAssign is RelaxFarthest with assignment carry: whenever the
+// relaxation lowers minSq[i] it also records assign[i] = c (the caller's
+// identifier for the relaxing center, typically its selection position).
+// Because the relaxation is strict (<), a later center at exactly the
+// distance of an earlier one does not take the point — the assignment stays
+// with the earliest center realizing the minimum, which is precisely the
+// lowest-position tie-break of the post-hoc assignment scan
+// (NearestInRange's strict < from +Inf). Squared distances come from
+// SqDistsInto, whose per-dimension accumulation order is identical to the
+// other kernels', so after the last center both minSq and assign are
+// bit-identical to what a full evaluation pass over the final center set
+// would produce: a Gonzalez caller threading this through its traversal gets
+// the complete assignment for free instead of paying a second O(n·k) pass.
+// scratch must have length at least hi-lo; it is overwritten each call.
+func RelaxFarthestAssign(ds *Dataset, lo, hi int, q []float64, c int, minSq []float64, assign []int, scratch []float64) (int, float64) {
+	next, far := lo, -1.0
+	if hi <= lo {
+		return next, far
+	}
+	scratch = scratch[:hi-lo]
+	SqDistsInto(scratch, ds, lo, hi, q)
+	for i := lo; i < hi; i++ {
+		m := minSq[i]
+		if sq := scratch[i-lo]; sq < m {
+			m = sq
+			minSq[i] = sq
+			assign[i] = c
+		}
+		if m > far {
+			far = m
+			next = i
+		}
+	}
+	return next, far
+}
+
 // sqDist8 is the dim-8 body, reproducing SqDist's four-accumulator unroll
 // (two unrolled iterations) bit for bit.
 func sqDist8(p, q []float64) float64 {

@@ -1,0 +1,264 @@
+// Assign request coalescing: concurrent /v1/assign requests that resolve to
+// the same tenant and snapshot version park in a short gather window and are
+// fused into one contiguous query slab run through a single one-to-many
+// kernel pass (assign.NearestBatch), then demultiplexed per request in the
+// original order. The snapshot cache keyed by CentersVersion already
+// guarantees every cohort member sees the identical center set — batches are
+// keyed by the *querySnapshot pointer itself — so fusion is semantically
+// free: results are bit-identical to solo execution (pinned by the identity
+// and linearizability tests in coalesce_test.go).
+//
+// Protocol. A request that is the only assign in flight on the service
+// bypasses the coalescer entirely (solo p50 unmoved). A request that
+// arrives while others are in flight either joins the open batch for its
+// snapshot (a follower: parks on the batch's done channel) or opens one
+// and becomes its leader. The leader gathers adaptively: CoalesceWindow is
+// an upper bound on the wait, not a sleep — it yields and seals as soon as
+// the batch is full (CoalesceMax requests), the batch stops growing, every
+// assign in flight has joined, the window expires, or its own context ends,
+// whichever is first — then fuses the live members' points into one slab,
+// runs the kernel pass, writes every member's results and closes done.
+//
+// Cancellation. A follower whose context expires mid-window marks itself
+// cancelled and leaves immediately: it never stalls the cohort, the leader
+// skips it at slab-copy time, and ownership of its pooled points buffer
+// passes to the leader (the follower's handler must not recycle it — see
+// the ownership rules on assignBatch). A leader always runs the pass, even
+// with a dead context: followers are parked on it.
+
+package server
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"kcenter/internal/assign"
+	"kcenter/internal/metric"
+	"kcenter/internal/obs"
+)
+
+// coalesceMember is one request's slot in a gather batch.
+type coalesceMember struct {
+	pts [][]float64
+	// out is written by the leader before done closes; a member reads it
+	// only after done, so no lock is needed.
+	out []assignment
+	// cancelled is set by a follower abandoning the batch (context expired
+	// mid-window). The leader skips cancelled members at slab-copy time and
+	// recycles their points buffers after the pass.
+	cancelled atomic.Bool
+}
+
+// coalesceBatch is one gather window's worth of fused requests. Members are
+// appended under the tenant's coalMu while the batch is open (reachable via
+// t.coalOpen); sealing — clearing t.coalOpen under coalMu — freezes the
+// member list, after which the leader reads it without the lock.
+type coalesceBatch struct {
+	qs      *querySnapshot
+	members []*coalesceMember
+	// full is closed by the follower whose join fills the batch, waking the
+	// leader before the window expires.
+	full chan struct{}
+	// done is closed by the leader once every live member's out is written.
+	done chan struct{}
+}
+
+// assignBatch computes nearest-center assignments for pts against qs,
+// fusing the work with concurrent requests on the same snapshot when
+// profitable. It returns the assignments in pts order, the distance
+// evaluations to charge this request (followers return 0 — the leader is
+// charged the whole fused pass), and a non-nil error only when ctx expired
+// while parked.
+//
+// Ownership: on success the caller still owns pts (recycle it). On error,
+// ownership of pts has passed to the cohort leader — the caller must NOT
+// recycle it; the leader recycles the buffers of every cancelled member it
+// observes after the pass (a buffer whose cancellation the leader misses is
+// simply left to the GC).
+func (t *tenant) assignBatch(ctx context.Context, tr *obs.Trace, qs *querySnapshot, pts [][]float64) ([]assignment, int64, error) {
+	window := t.svc.cfg.CoalesceWindow
+	if window <= 0 {
+		out, evals := assignSolo(qs, pts)
+		return out, evals, nil
+	}
+	// Solo bypass: assignInflight counts assign requests across their whole
+	// handler lifetime (handleAssign owns the increment, taken before the
+	// body read). A count of 1 is this request alone — there is nobody to
+	// fuse with and nothing to wait for, so the solo path runs untouched
+	// and solo p50 is unmoved. The yield handles the single-P cold start:
+	// back-to-back handlers never overlap on one processor (each runs to
+	// completion before the scheduler picks up the next connection), so
+	// without it the count would sit at 1 forever and coalescing could
+	// never bootstrap. Yielding lets every other ready assign enter its
+	// handler — and be counted — before this one decides solo vs gather;
+	// once a leader is gathering, later arrivals see the count above 1 on
+	// the first read and skip the yield. For a genuinely solo request the
+	// yield is a sub-microsecond no-op.
+	if t.svc.assignInflight.Load() <= 1 {
+		runtime.Gosched()
+		if t.svc.assignInflight.Load() <= 1 {
+			out, evals := assignSolo(qs, pts)
+			return out, evals, nil
+		}
+	}
+
+	t.coalMu.Lock()
+	if b := t.coalOpen; b != nil && b.qs == qs {
+		// Join the open batch as a follower. The pointer comparison is the
+		// version key: one querySnapshot is immutable and shared by every
+		// request at its version, so equal pointers mean the identical
+		// center set and metadata — cross-version fusion is impossible.
+		m := &coalesceMember{pts: pts}
+		b.members = append(b.members, m)
+		if len(b.members) >= t.svc.cfg.CoalesceMax {
+			t.coalOpen = nil // seal: no further joins
+			close(b.full)
+		}
+		t.coalMu.Unlock()
+		select {
+		case <-b.done:
+			tr.Mark(obs.StageCoalesce) // park + the leader's fused pass
+			return m.out, 0, nil
+		case <-ctx.Done():
+			m.cancelled.Store(true)
+			return nil, 0, ctx.Err()
+		}
+	}
+	// No joinable batch (none open, or the open one is gathering against a
+	// different snapshot version): open a new batch and lead it.
+	b := &coalesceBatch{
+		qs:      qs,
+		members: []*coalesceMember{{pts: pts}},
+		full:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	t.coalOpen = b
+	t.coalMu.Unlock()
+
+	// Gather adaptively: the window is an upper bound on the wait, not a
+	// sleep. The leader yields the processor and seals as soon as the batch
+	// stops growing — every assign in flight has either joined or is not
+	// going to (different tenant or snapshot) — so an idle machine pays
+	// scheduling time, not wall time, and batch latency tracks arrival
+	// drain rather than the configured window. The timer still bounds the
+	// gather when arrivals keep trickling in; the leader's own expired
+	// context ends the gather early but never the pass — followers are
+	// parked on done and must not be stalled or dropped.
+	timer := time.NewTimer(window)
+	prev, quiet := 1, 0
+gather:
+	for {
+		select {
+		case <-b.full:
+			break gather
+		case <-timer.C:
+			break gather
+		case <-ctx.Done():
+			break gather
+		default:
+		}
+		runtime.Gosched()
+		t.coalMu.Lock()
+		n := len(b.members)
+		t.coalMu.Unlock()
+		if n >= int(t.svc.assignInflight.Load()) {
+			break gather // every assign in flight has joined
+		}
+		if n == prev {
+			if quiet++; quiet >= 4 {
+				break gather // arrivals drained without joining
+			}
+		} else {
+			prev, quiet = n, 0
+		}
+	}
+	timer.Stop()
+	t.coalMu.Lock()
+	if t.coalOpen == b {
+		t.coalOpen = nil // seal: the member list is frozen from here on
+	}
+	t.coalMu.Unlock()
+	tr.Mark(obs.StageCoalesce) // the gather window
+	evals := t.runFused(qs, b)
+	close(b.done)
+	return b.members[0].out, evals, nil
+}
+
+// assignSolo is the uncoalesced per-point loop — the exact kernel sequence
+// the pre-coalescing handler ran, and the oracle the fused path must match
+// bit for bit.
+func assignSolo(qs *querySnapshot, pts [][]float64) ([]assignment, int64) {
+	out := make([]assignment, len(pts))
+	var evals int64
+	for i, p := range pts {
+		c, sq, e := qs.nearest(p)
+		evals += e
+		out[i] = assignment{Center: c, Distance: math.Sqrt(sq)}
+	}
+	return out, evals
+}
+
+// runFused executes a sealed batch: copy the live members' points into one
+// contiguous slab, run the single fused kernel pass, demultiplex results
+// into each member's out slice in original order, recycle cancelled
+// members' buffers, and return the total distance evaluations.
+func (t *tenant) runFused(qs *querySnapshot, b *coalesceBatch) int64 {
+	live := make([]*coalesceMember, 0, len(b.members))
+	rows := 0
+	for _, m := range b.members {
+		if m.cancelled.Load() {
+			continue
+		}
+		live = append(live, m)
+		rows += len(m.pts)
+	}
+	var evals int64
+	switch {
+	case len(live) == 0:
+		// Every follower left and the leader is cancelled-proof by
+		// construction, so this only happens in tests driving the batch
+		// directly; nothing to compute.
+	case len(live) == 1:
+		// The window expired with no (surviving) company: compute exactly
+		// like a solo request, with no slab copy and no coalesce counters.
+		live[0].out, evals = assignSolo(qs, live[0].pts)
+	default:
+		dim := qs.res.Centers.Dim
+		queries := &metric.Dataset{Data: make([]float64, 0, rows*dim), N: rows, Dim: dim}
+		for _, m := range live {
+			for _, p := range m.pts {
+				queries.Data = append(queries.Data, p...)
+			}
+		}
+		outC := make([]int, rows)
+		outSq := make([]float64, rows)
+		evals = assign.NearestBatch(qs.res.Centers, qs.pruned, queries, outC, outSq)
+		row := 0
+		for _, m := range live {
+			out := make([]assignment, len(m.pts))
+			for i := range out {
+				out[i] = assignment{Center: outC[row], Distance: math.Sqrt(outSq[row])}
+				row++
+			}
+			m.out = out
+		}
+		t.coalesceBatches.Add(1)
+		t.coalescedRequests.Add(int64(len(live)))
+		t.coalescedPoints.Add(int64(rows))
+		expstats.Add("coalesce_batches", 1)
+		expstats.Add("coalesced_requests", int64(len(live)))
+		expstats.Add("coalesced_points", int64(rows))
+	}
+	// Cancelled members returned without recycling (their handler gave up
+	// ownership); recycle for them. A member cancelling after this check is
+	// missed and its buffer goes to the GC — correct, just not recycled.
+	for _, m := range b.members {
+		if m.cancelled.Load() {
+			putPointsBuf(m.pts)
+		}
+	}
+	return evals
+}

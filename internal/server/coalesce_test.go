@@ -1,0 +1,460 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kcenter/internal/metric"
+)
+
+// coalesceFixture builds a service with ingested data and returns it with
+// its default tenant's query snapshot, ready for direct assignBatch /
+// runFused driving.
+func coalesceFixture(t *testing.T, cfg Config) (*Service, *httptest.Server, *querySnapshot) {
+	t.Helper()
+	s := newTestService(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	ingestAll(t, ts, s, genPoints(1200, 7), 300)
+	qs, err := s.tenant.snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ts, qs
+}
+
+// TestRunFusedBitIdenticalToSolo pins the tentpole's core contract
+// deterministically: a fused pass over any cohort returns, member by member
+// and point by point, exactly the assignments and distances the solo path
+// computes — same center index, bit-equal distance — with per-member
+// ordering preserved through the demux.
+func TestRunFusedBitIdenticalToSolo(t *testing.T) {
+	s, _, qs := coalesceFixture(t, Config{K: 16, Shards: 4})
+
+	rng := rand.New(rand.NewSource(3))
+	queries := genPoints(300, 99)
+	for round := 0; round < 20; round++ {
+		// Random cohort: 2..6 members with 1..40 points each.
+		b := &coalesceBatch{qs: qs, full: make(chan struct{}), done: make(chan struct{})}
+		for m := 0; m < 2+rng.Intn(5); m++ {
+			n := 1 + rng.Intn(40)
+			pts := make([][]float64, n)
+			for i := range pts {
+				pts[i] = queries[rng.Intn(len(queries))]
+			}
+			b.members = append(b.members, &coalesceMember{pts: pts})
+		}
+		evals := s.tenant.runFused(qs, b)
+		var wantEvals int64
+		for mi, m := range b.members {
+			want, ev := assignSolo(qs, m.pts)
+			wantEvals += ev
+			if len(m.out) != len(m.pts) {
+				t.Fatalf("round %d member %d: %d results for %d points", round, mi, len(m.out), len(m.pts))
+			}
+			for i := range want {
+				if m.out[i] != want[i] {
+					t.Fatalf("round %d member %d point %d: fused %+v, solo %+v",
+						round, mi, i, m.out[i], want[i])
+				}
+			}
+		}
+		if evals != wantEvals {
+			t.Fatalf("round %d: fused pass charged %d evals, solo total %d", round, evals, wantEvals)
+		}
+	}
+	if s.tenant.coalesceBatches.Load() == 0 {
+		t.Fatal("fused passes did not count coalesce batches")
+	}
+}
+
+// TestCoalesceDemuxOrdering is the testing/quick property over the demux:
+// for arbitrary member partitions of an arbitrary query list, fusing and
+// demultiplexing reproduces the flat solo results in order.
+func TestCoalesceDemuxOrdering(t *testing.T) {
+	s, _, qs := coalesceFixture(t, Config{K: 8, Shards: 2})
+	pool := genPoints(200, 5)
+
+	prop := func(sizes []uint8, pick []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 8 {
+			sizes = sizes[:8]
+		}
+		b := &coalesceBatch{qs: qs, full: make(chan struct{}), done: make(chan struct{})}
+		flat := make([][]float64, 0, 64)
+		pi := 0
+		for _, sz := range sizes {
+			n := int(sz)%24 + 1
+			pts := make([][]float64, n)
+			for i := range pts {
+				var idx int
+				if len(pick) > 0 {
+					idx = int(pick[pi%len(pick)]) % len(pool)
+					pi++
+				}
+				pts[i] = pool[idx]
+			}
+			flat = append(flat, pts...)
+			b.members = append(b.members, &coalesceMember{pts: pts})
+		}
+		s.tenant.runFused(qs, b)
+		want, _ := assignSolo(qs, flat)
+		got := make([]assignment, 0, len(want))
+		for _, m := range b.members {
+			got = append(got, m.out...)
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoalesceEndToEndBitIdentical freezes a snapshot (no concurrent
+// ingest), records the solo HTTP response bytes for a fixed set of request
+// bodies, then replays the same bodies from 8 concurrent clients with a
+// wide-open gather window and asserts every reply is byte-identical to its
+// solo counterpart — the wire-level form of the bit-identity contract.
+func TestCoalesceEndToEndBitIdentical(t *testing.T) {
+	s, ts, _ := coalesceFixture(t, Config{K: 16, Shards: 4,
+		CoalesceWindow: 2 * time.Millisecond, CoalesceMax: 8})
+
+	queries := genPoints(160, 11)
+	const reqs = 16
+	bodies := make([][]byte, reqs)
+	solo := make([][]byte, reqs)
+	for i := range bodies {
+		b, err := json.Marshal(assignRequest{Points: queries[i*10 : (i+1)*10]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = b
+		resp, body := postBytes(t, ts, "/v1/assign", b)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solo assign status %d: %s", resp.StatusCode, body)
+		}
+		solo[i] = body
+	}
+
+	rounds := 30
+	if testing.Short() {
+		rounds = 8
+	}
+	// On a single-core host the handlers are so fast they serialize and the
+	// solo bypass wins every time; hold one synthetic request in flight so
+	// every real request enters the gather protocol and overlap is certain.
+	s.assignInflight.Add(1)
+	defer s.assignInflight.Add(-1)
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (c + r) % reqs
+				resp, body := postBytes(t, ts, "/v1/assign", bodies[i])
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("assign status %d: %s", resp.StatusCode, body)
+					return
+				}
+				if !bytes.Equal(body, solo[i]) {
+					t.Errorf("coalesced reply diverged from solo\n got: %s\nwant: %s", body, solo[i])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if got := s.tenant.coalesceBatches.Load(); got == 0 {
+		t.Error("8 concurrent clients with a 2ms window never coalesced")
+	}
+	var st statsResponse
+	getJSON(t, ts, "/v1/stats", &st)
+	if st.CoalesceBatches != s.tenant.coalesceBatches.Load() ||
+		st.CoalescedRequests != s.tenant.coalescedRequests.Load() {
+		t.Errorf("stats coalesce counters (%d, %d) disagree with tenant (%d, %d)",
+			st.CoalesceBatches, st.CoalescedRequests,
+			s.tenant.coalesceBatches.Load(), s.tenant.coalescedRequests.Load())
+	}
+}
+
+func postBytes(t *testing.T, ts *httptest.Server, path string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestCoalesceSoloBypassCountsNothing: a single sequential client must
+// never touch the coalescer — counters stay zero (so its stats fields stay
+// omitted and the wire format is unchanged) no matter how many requests it
+// sends.
+func TestCoalesceSoloBypassCountsNothing(t *testing.T) {
+	s, ts, _ := coalesceFixture(t, Config{K: 8, Shards: 2,
+		CoalesceWindow: 50 * time.Millisecond})
+	queries := genPoints(40, 13)
+	for r := 0; r < 20; r++ {
+		resp, body := postJSON(t, ts, "/v1/assign", assignRequest{Points: queries})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("assign status %d: %s", resp.StatusCode, body)
+		}
+	}
+	if n := s.tenant.coalesceBatches.Load(); n != 0 {
+		t.Errorf("sequential client produced %d coalesce batches, want 0", n)
+	}
+	if n := s.tenant.coalescedRequests.Load(); n != 0 {
+		t.Errorf("sequential client produced %d coalesced requests, want 0", n)
+	}
+	var raw map[string]json.RawMessage
+	getJSON(t, ts, "/v1/stats", &raw)
+	for _, f := range []string{"coalesced_requests", "coalesce_batches", "coalesced_points"} {
+		if _, ok := raw[f]; ok {
+			t.Errorf("stats reply exposes %q on a workload that never coalesced", f)
+		}
+	}
+}
+
+// TestCoalesceCancelledFollowerDoesNotPoisonCohort is the regression test
+// for a request whose context expires inside the gather window: the
+// follower returns promptly with the context error — it does not park on
+// the still-open batch for the whole window — the leader still completes
+// with correct results, and no response is computed from the cancelled
+// request's points. The batch is constructed directly (exactly the state a
+// leader leaves while gathering) so the join and the cancellation are
+// deterministic rather than scheduler-dependent.
+func TestCoalesceCancelledFollowerDoesNotPoisonCohort(t *testing.T) {
+	s, _, qs := coalesceFixture(t, Config{K: 8, Shards: 2,
+		CoalesceWindow: 150 * time.Millisecond, CoalesceMax: 16})
+	tn := s.tenant
+	queries := genPoints(30, 17)
+
+	// Hold synthetic requests in flight so the follower's direct assignBatch
+	// call below (which never passes through handleAssign's own increment)
+	// sees n > 1 and enters the gather protocol instead of the solo bypass.
+	tn.svc.assignInflight.Add(2)
+	defer tn.svc.assignInflight.Add(-2)
+
+	// Open a gather batch exactly as a leader mid-window would.
+	b := &coalesceBatch{
+		qs:      qs,
+		members: []*coalesceMember{{pts: queries[:10]}},
+		full:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	tn.coalMu.Lock()
+	tn.coalOpen = b
+	tn.coalMu.Unlock()
+
+	// Follower whose context has expired by the time it joins: it must
+	// leave immediately with the context error and no results, not stall
+	// until the 150ms window closes.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	out, _, err := tn.assignBatch(ctx, nil, qs, queries[10:20])
+	if err == nil {
+		t.Fatal("cancelled follower returned no error")
+	}
+	if out != nil {
+		t.Fatal("cancelled follower returned results")
+	}
+	if waited := time.Since(start); waited > 100*time.Millisecond {
+		t.Fatalf("cancelled follower stalled %v (window is 150ms; it must leave at its own deadline)", waited)
+	}
+
+	// Seal and run the pass as the parked leader does next.
+	tn.coalMu.Lock()
+	if tn.coalOpen == b {
+		tn.coalOpen = nil
+	}
+	tn.coalMu.Unlock()
+	if len(b.members) != 2 {
+		t.Fatalf("batch has %d members, want 2 (leader + cancelled follower)", len(b.members))
+	}
+	if !b.members[1].cancelled.Load() {
+		t.Fatal("follower did not mark itself cancelled before leaving")
+	}
+	tn.runFused(qs, b)
+	close(b.done)
+
+	want, _ := assignSolo(qs, queries[:10])
+	if len(b.members[0].out) != len(want) {
+		t.Fatalf("leader got %d results, want %d", len(b.members[0].out), len(want))
+	}
+	for i := range want {
+		if b.members[0].out[i] != want[i] {
+			t.Fatalf("leader result %d: got %+v, want %+v (cohort poisoned by cancelled member?)", i, b.members[0].out[i], want[i])
+		}
+	}
+	if b.members[1].out != nil {
+		t.Fatal("a response was computed from the cancelled request's points")
+	}
+	// One live member is a solo-equivalent pass, not a coalesce batch.
+	if n := tn.coalesceBatches.Load(); n != 0 {
+		t.Errorf("single-survivor batch counted as %d coalesce batches, want 0", n)
+	}
+}
+
+// TestAssignLinearizable is the linearizability suite (runs under the -race
+// gate): query goroutines hammer /v1/assign while a producer keeps bumping
+// the center-set version, and a poller records every center list the
+// service publishes by version. Every assign response must be exactly the
+// result of evaluating its points against the single center list named by
+// its snapshot.version — same nearest index, bit-equal distance — proving
+// responses are never computed from a mix of snapshots.
+func TestAssignLinearizable(t *testing.T) {
+	s := newTestService(t, Config{K: 12, Shards: 4,
+		CoalesceWindow: 500 * time.Microsecond, CoalesceMax: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	n := 9000
+	rounds := 60
+	if testing.Short() {
+		n, rounds = 3000, 20
+	}
+	feed := genPoints(n, 23)
+	ingestAll(t, ts, s, feed[:600], 200) // seed so assigns succeed from the start
+
+	// Poller: record the published center list per version. Center lists
+	// are immutable per version, so first-seen wins and a version observed
+	// twice must match.
+	versions := sync.Map{} // uint64 -> [][]float64
+	stop := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var cr centersResponse
+			resp := getJSON(t, ts, "/v1/centers", &cr)
+			if resp.StatusCode == http.StatusOK {
+				versions.LoadOrStore(cr.Snapshot.Version, cr.Centers)
+			}
+		}
+	}()
+
+	// Producer: keep ingesting so CentersVersion advances during the run.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for lo := 600; lo < n; lo += 150 {
+			hi := lo + 150
+			if hi > n {
+				hi = n
+			}
+			resp, body := postJSON(t, ts, "/v1/ingest", ingestRequest{Points: feed[lo:hi]})
+			if resp.StatusCode != http.StatusAccepted {
+				t.Errorf("ingest status %d: %s", resp.StatusCode, body)
+				return
+			}
+		}
+	}()
+
+	// Query clients: concurrent assigns that also coalesce with each other.
+	queries := genPoints(120, 29)
+	verified := int64(0)
+	var verifiedMu sync.Mutex
+	seen := map[uint64]bool{}
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				pts := queries[(c*7+r)%100 : (c*7+r)%100+12]
+				resp, body := postJSON(t, ts, "/v1/assign", assignRequest{Points: pts})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("assign status %d: %s", resp.StatusCode, body)
+					return
+				}
+				var ar assignResponse
+				if err := json.Unmarshal(body, &ar); err != nil {
+					t.Errorf("assign reply: %v", err)
+					return
+				}
+				if len(ar.Assignments) != len(pts) {
+					t.Errorf("%d assignments for %d points", len(ar.Assignments), len(pts))
+					return
+				}
+				v, ok := versions.Load(ar.Snapshot.Version)
+				if !ok {
+					continue // version never caught by the poller; cannot verify
+				}
+				centers := v.([][]float64)
+				if len(centers) != ar.Snapshot.Centers {
+					t.Errorf("version %d: snapshot meta says %d centers, /v1/centers published %d",
+						ar.Snapshot.Version, ar.Snapshot.Centers, len(centers))
+					return
+				}
+				for i, p := range pts {
+					wc, wd := nearestBrute(centers, p)
+					if ar.Assignments[i].Center != wc || ar.Assignments[i].Distance != wd {
+						t.Errorf("version %d point %d: got (center %d, dist %v), want (center %d, dist %v) against that version's centers",
+							ar.Snapshot.Version, i, ar.Assignments[i].Center, ar.Assignments[i].Distance, wc, wd)
+						return
+					}
+				}
+				verifiedMu.Lock()
+				verified++
+				seen[ar.Snapshot.Version] = true
+				verifiedMu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	pollWG.Wait()
+
+	if verified == 0 {
+		t.Fatal("no assign response could be verified against a published center list")
+	}
+	if len(seen) < 2 {
+		t.Logf("only %d distinct snapshot version(s) verified (%d responses); ingest may have converged early", len(seen), verified)
+	}
+}
+
+// nearestBrute recomputes an assignment against a published center list
+// with the serving path's exact arithmetic: metric.NearestInRange over the
+// centers (same accumulation order, lowest-index tie-break) and a final
+// Sqrt. JSON round-trips float64 values exactly, so a correct response
+// matches bit for bit.
+func nearestBrute(centers [][]float64, p []float64) (int, float64) {
+	ds, err := metric.FromPoints(centers)
+	if err != nil {
+		panic(err)
+	}
+	c, sq := metric.NearestInRange(ds, 0, ds.N, p)
+	return c, math.Sqrt(sq)
+}

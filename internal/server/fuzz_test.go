@@ -1,0 +1,138 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fuzzSvc lazily builds one service per fuzzing process: an ingest target
+// (whose state the fuzzer is free to mutate) and a frozen assign target
+// (pre-ingested, never ingested again, so every assign against it is
+// deterministic and can be replayed for aliasing checks).
+var (
+	fuzzOnce      sync.Once
+	fuzzIngestSvc *Service
+	fuzzAssignSvc *Service
+)
+
+func fuzzServices(f *testing.F) (*Service, *Service) {
+	f.Helper()
+	fuzzOnce.Do(func() {
+		var err error
+		fuzzIngestSvc, err = New(Config{K: 8, Shards: 2, MaxBatch: 256})
+		if err != nil {
+			panic(err)
+		}
+		fuzzAssignSvc, err = New(Config{K: 8, Shards: 2, MaxBatch: 256})
+		if err != nil {
+			panic(err)
+		}
+		pts := genPoints(400, 31)
+		for lo := 0; lo < len(pts); lo += 200 {
+			body, _ := json.Marshal(ingestRequest{Points: pts[lo : lo+200]})
+			rec := fuzzPost(fuzzAssignSvc, "/v1/ingest", body)
+			if rec.Code != http.StatusAccepted {
+				panic("fuzz setup ingest failed: " + rec.Body.String())
+			}
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for fuzzAssignSvc.ingestedPoints.Load() < 400 {
+			if time.Now().After(deadline) {
+				panic("fuzz setup: ingest never drained")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	return fuzzIngestSvc, fuzzAssignSvc
+}
+
+// fuzzPost drives one handler invocation directly (no TCP) and returns the
+// recorded response.
+func fuzzPost(svc *Service, path string, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	svc.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// knownStatus is the closed set of statuses the decode paths may answer
+// with; anything else means a handler wandered off the documented wire
+// contract (a 500 additionally means the recovery middleware caught a
+// panic, checked separately via the panic counter).
+func knownStatus(code int) bool {
+	switch code {
+	case http.StatusOK, http.StatusAccepted,
+		http.StatusBadRequest, http.StatusNotFound, http.StatusConflict,
+		http.StatusRequestEntityTooLarge, http.StatusTooManyRequests,
+		http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+// FuzzDecodeIngest feeds arbitrary bytes to the ingest decode path: the
+// handler must answer a documented status with a valid JSON body and never
+// panic, whatever the bytes are.
+func FuzzDecodeIngest(f *testing.F) {
+	f.Add([]byte(`{"points":[[1,2],[3,4]]}`))
+	f.Add([]byte(`{"points":[]}`))
+	f.Add([]byte(`{"points":[[1e308,1e308]]}`))
+	f.Add([]byte(`{"points":[[1,2],[3]]}`))
+	f.Add([]byte(`{"points":[[null]],"tenant":"x"}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	ingestSvc, _ := fuzzServices(f)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		before := ingestSvc.handlerPanics.Load()
+		rec := fuzzPost(ingestSvc, "/v1/ingest", body)
+		if ingestSvc.handlerPanics.Load() != before {
+			t.Fatalf("ingest decode panicked on %q", body)
+		}
+		if !knownStatus(rec.Code) {
+			t.Fatalf("ingest answered undocumented status %d for %q", rec.Code, body)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("ingest answered invalid JSON %q", rec.Body.Bytes())
+		}
+	})
+}
+
+// FuzzDecodeAssign feeds arbitrary bytes to the assign decode path against
+// a frozen snapshot. Beyond no-panic and valid-JSON it sends every input
+// TWICE and requires byte-identical responses: the pooled decode buffers
+// are recycled between the two calls, so any aliasing of pooled memory into
+// the response surfaces as a diff.
+func FuzzDecodeAssign(f *testing.F) {
+	f.Add([]byte(`{"points":[[1,2],[3,4]]}`))
+	f.Add([]byte(`{"points":[[0,0]]}`))
+	f.Add([]byte(`{"points":[[1,2,3]]}`))
+	f.Add([]byte(`{"points":[["a"]]}`))
+	f.Add([]byte(`{"points":[[NaN,1]]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte{'{', 0x00})
+	_, assignSvc := fuzzServices(f)
+	f.Fuzz(func(t *testing.T, body []byte) {
+		before := assignSvc.handlerPanics.Load()
+		first := fuzzPost(assignSvc, "/v1/assign", body)
+		second := fuzzPost(assignSvc, "/v1/assign", body)
+		if assignSvc.handlerPanics.Load() != before {
+			t.Fatalf("assign decode panicked on %q", body)
+		}
+		if !knownStatus(first.Code) {
+			t.Fatalf("assign answered undocumented status %d for %q", first.Code, body)
+		}
+		if !json.Valid(first.Body.Bytes()) {
+			t.Fatalf("assign answered invalid JSON %q", first.Body.Bytes())
+		}
+		if first.Code != second.Code || !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+			t.Fatalf("assign is not deterministic on a frozen snapshot (pooled buffer aliasing?)\nfirst:  %d %q\nsecond: %d %q",
+				first.Code, first.Body.Bytes(), second.Code, second.Body.Bytes())
+		}
+	})
+}

@@ -252,6 +252,14 @@ type statsResponse struct {
 	// (pruning makes this sub-linear in k per point above the crossover).
 	DistEvals      int64 `json:"dist_evals"`
 	SnapshotBuilds int64 `json:"snapshot_builds"`
+	// CoalescedRequests counts assign requests answered from a fused pass of
+	// ≥ 2 requests, CoalesceBatches the fused passes themselves, and
+	// CoalescedPoints the points those passes carried. All zero — and so
+	// omitted, keeping single-client replies byte-identical to the previous
+	// wire format — on a workload with no assign concurrency.
+	CoalescedRequests int64 `json:"coalesced_requests,omitempty"`
+	CoalesceBatches   int64 `json:"coalesce_batches,omitempty"`
+	CoalescedPoints   int64 `json:"coalesced_points,omitempty"`
 	// ShedBatches/ShedPoints count ingest batches (and the points in them)
 	// rejected with 429 because the queue stayed at its watermark past the
 	// shed patience.
@@ -662,12 +670,29 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 	var trMetrics *obs.TenantMetrics
 	var trTenant string
 	defer func() { tr.Finish(trMetrics, trTenant) }()
+	// Count this request in flight for its whole lifetime, decode included:
+	// the coalescer's solo bypass fires when this is the only assign the
+	// service is processing (see assignBatch). Counting from before the
+	// body read — the span where a request genuinely blocks — is what lets
+	// concurrent requests find each other even when their kernel sections
+	// alone would never overlap.
+	s.assignInflight.Add(1)
+	defer s.assignInflight.Add(-1)
 	req := s.decodePoints(w, r)
 	if req == nil {
 		return
 	}
 	batch := req.Points
-	defer putPointsBuf(batch) // assign only reads the batch; recycle on every path
+	// Assign only reads the batch, so the handler normally recycles it on
+	// every path — EXCEPT when assignBatch returns an error: the request
+	// then abandoned a coalesce cohort mid-window and buffer ownership
+	// passed to the cohort leader (see assignBatch).
+	recycle := true
+	defer func() {
+		if recycle {
+			putPointsBuf(batch)
+		}
+	}()
 	tr.Mark(obs.StageDecode)
 	name, ok := mergeTenantName(w, r, req.Tenant)
 	if !ok {
@@ -700,15 +725,18 @@ func (s *Service) handleAssign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr.Mark(obs.StageSnapshot)
+	assignments, evals, err := t.assignBatch(r.Context(), tr, qs, batch)
+	if err != nil {
+		// The request's context expired while parked in a coalesce gather
+		// window; its buffer now belongs to the cohort leader.
+		recycle = false
+		writeError(w, http.StatusServiceUnavailable,
+			"request cancelled while waiting to coalesce: "+err.Error())
+		return
+	}
 	resp := assignResponse{
 		Snapshot:    meta(qs),
-		Assignments: make([]assignment, len(batch)),
-	}
-	var evals int64
-	for i, p := range batch {
-		c, sq, e := qs.nearest(p)
-		evals += e
-		resp.Assignments[i] = assignment{Center: c, Distance: math.Sqrt(sq)}
+		Assignments: assignments,
 	}
 	tr.Mark(obs.StageKernel)
 	t.assignRequests.Add(1)
@@ -835,8 +863,12 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		AssignPoints:    t.assignPoints.Load(),
 		DistEvals:       t.distEvals.Load(),
 		SnapshotBuilds:  t.snapshotBuilds.Load(),
-		ShedBatches:     t.shedBatches.Load(),
-		ShedPoints:      t.shedPoints.Load(),
+
+		CoalescedRequests: t.coalescedRequests.Load(),
+		CoalesceBatches:   t.coalesceBatches.Load(),
+		CoalescedPoints:   t.coalescedPoints.Load(),
+		ShedBatches:       t.shedBatches.Load(),
+		ShedPoints:        t.shedPoints.Load(),
 
 		CheckpointWrites:       t.ckptWrites.Load(),
 		CheckpointErrors:       t.ckptErrors.Load(),

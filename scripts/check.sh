@@ -22,6 +22,15 @@ go test ./...
 echo "== go test -race -short ./internal/stream/... ./internal/server/... ./internal/fault/... ./internal/obs/..."
 go test -race -short ./internal/stream/... ./internal/server/... ./internal/fault/... ./internal/obs/...
 
+# Fuzz gate: a short random-exploration budget per native fuzz target on
+# top of the committed seed corpora; any crasher fails the gate.
+FUZZTIME="${FUZZTIME:-10s}"
+echo "== fuzz gate (4 targets, $FUZZTIME each)"
+go test -run '^$' -fuzz '^FuzzDecodeIngest$' -fuzztime "$FUZZTIME" ./internal/server
+go test -run '^$' -fuzz '^FuzzDecodeAssign$' -fuzztime "$FUZZTIME" ./internal/server
+go test -run '^$' -fuzz '^FuzzCheckpointDecode$' -fuzztime "$FUZZTIME" ./internal/checkpoint
+go test -run '^$' -fuzz '^FuzzParseSpec$' -fuzztime "$FUZZTIME" ./internal/fault
+
 # Chaos smoke: shard panics, ingest delays and checkpoint fsync failures
 # fire under mixed traffic; the experiment enforces its four robustness
 # assertions internally, so a zero exit is the pass.
