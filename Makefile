@@ -38,15 +38,17 @@ chaos:
 	$(GO) run ./cmd/experiments -exp chaos -scale 10
 
 # Fuzz gate: a short budget per native fuzz target — the HTTP decoders
-# (pooled buffers must never alias into a response), the checkpoint reader
-# (arbitrary bytes must fail typed, never panic) and the fault-spec
-# grammar. The committed seed corpora under */testdata/fuzz always run;
-# FUZZTIME adds random exploration on top (raise it to hunt, e.g.
-# `make fuzz FUZZTIME=5m`).
+# (pooled buffers must never alias into a response), the replication
+# receiver (arbitrary bytes must answer a documented 4xx and never
+# half-merge), the checkpoint reader (arbitrary bytes must fail typed,
+# never panic) and the fault-spec grammar. The committed seed corpora
+# under */testdata/fuzz always run; FUZZTIME adds random exploration on
+# top (raise it to hunt, e.g. `make fuzz FUZZTIME=5m`).
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeIngest$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeAssign$$' -fuzztime $(FUZZTIME) ./internal/server
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeReplicate$$' -fuzztime $(FUZZTIME) ./internal/server
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) ./internal/checkpoint
 	$(GO) test -run '^$$' -fuzz '^FuzzParseSpec$$' -fuzztime $(FUZZTIME) ./internal/fault
 

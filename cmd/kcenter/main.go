@@ -29,7 +29,13 @@
 // server persists every tenant's clustering state (the default tenant in
 // the named file, others under <file>.d/) and resumes them warm on the
 // next boot, logging resume summaries; -checkpoint-keep N retains the
-// last N checkpoints per tenant for operator rollback. SIGINT/SIGTERM
+// last N checkpoints per tenant for operator rollback. With -node-id and
+// -replicate-peers the server gossips every tenant's exported clustering
+// state to its peers once per -replicate-interval (POST /v1/replicate,
+// checksummed checkpoint frames); peers fold the states into their merged
+// views and serve assign/centers against the union summary, so a follower
+// serves reads with no local ingest and promotes on primary failure by
+// simply continuing to serve. SIGINT/SIGTERM
 // shut it down gracefully, draining queued batches, writing the final
 // checkpoints and printing the final certified clustering. For resilience
 // testing, -faults arms the deterministic fault-injection framework (e.g.
@@ -48,6 +54,7 @@
 //	kcenter serve -addr :8080 -k 25 -checkpoint /var/lib/kcenter/serve.ckpt
 //	kcenter serve -addr :8080 -k 25 -tenants 64 -default-k 10 -checkpoint-keep 3
 //	kcenter serve -addr 127.0.0.1:0 -k 10 -max-batch 1024 -read-timeout 5s
+//	kcenter serve -addr :8080 -k 25 -node-id a -replicate-peers http://10.0.0.2:8080
 //	kcenter serve -addr :8080 -k 25 -pprof -slow-request 250ms -log-format json
 //
 // Exit status is non-zero on any configuration or runtime error.
@@ -63,6 +70,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -195,6 +203,9 @@ func runServe(args []string, out io.Writer, stop <-chan os.Signal) error {
 		ckptKeep     = fs.Int("checkpoint-keep", 0, "keep the last N checkpoints per tenant as <path>.1..N for rollback (0 = none)")
 		tenants      = fs.Int("tenants", 0, "max tenants for multi-tenant serving; 0 = single-tenant mode")
 		defaultK     = fs.Int("default-k", 0, "centers for lazily created tenants without an X-Kcenter-K header (0 = -k)")
+		nodeID       = fs.String("node-id", "", "this node's origin label in replication gossip (required with -replicate-peers)")
+		replPeers    = fs.String("replicate-peers", "", "comma-separated peer base URLs to push clustering state to, e.g. http://10.0.0.2:8080,http://10.0.0.3:8080")
+		replInterval = fs.Duration("replicate-interval", 0, "replication push period (0 = 2s); bounds follower staleness on a healthy link")
 		telemetry    = fs.Bool("telemetry", true, "arm latency telemetry: /metrics exposition and /v1/stats latency fields")
 		pprofFlag    = fs.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
 		slowReq      = fs.Duration("slow-request", 0, "log requests at or above this latency with a per-stage breakdown (0 = off; needs -telemetry)")
@@ -238,6 +249,9 @@ func runServe(args []string, out io.Writer, stop <-chan os.Signal) error {
 		CheckpointKeep:     *ckptKeep,
 		MaxTenants:         *tenants,
 		DefaultK:           *defaultK,
+		NodeID:             *nodeID,
+		ReplicatePeers:     splitPeers(*replPeers),
+		ReplicateInterval:  *replInterval,
 		Telemetry:          *telemetry,
 		Pprof:              *pprofFlag,
 		SlowRequest:        *slowReq,
@@ -297,6 +311,10 @@ func runServe(args []string, out io.Writer, stop <-chan os.Signal) error {
 	if effCoalMax <= 0 {
 		effCoalMax = 16
 	}
+	effReplInterval := *replInterval
+	if effReplInterval <= 0 {
+		effReplInterval = 2 * time.Second
+	}
 	obs.Default().Info("serve config",
 		"addr", ln.Addr().String(),
 		"k", *k,
@@ -310,6 +328,9 @@ func runServe(args []string, out io.Writer, stop <-chan os.Signal) error {
 		"checkpoint_keep", *ckptKeep,
 		"tenants", *tenants,
 		"default_k", effDefaultK,
+		"node_id", *nodeID,
+		"replicate_peers", *replPeers,
+		"replicate_interval", effReplInterval,
 		"telemetry", *telemetry,
 		"pprof", *pprofFlag,
 		"slow_request", *slowReq,
@@ -349,6 +370,18 @@ func runServe(args []string, out io.Writer, stop <-chan os.Signal) error {
 	// but the final checkpoint write failed: report it and exit non-zero so
 	// operators notice the stale checkpoint.
 	return err
+}
+
+// splitPeers parses the comma-separated -replicate-peers value, dropping
+// empty entries so a trailing comma is harmless.
+func splitPeers(spec string) []string {
+	var peers []string
+	for _, p := range strings.Split(spec, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }
 
 // runStream implements the stream subcommand: incremental ingestion into a

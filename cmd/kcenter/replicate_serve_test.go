@@ -1,0 +1,250 @@
+// Multi-node convergence, driven exactly like an operator would: two serve
+// stacks on real loopback listeners, each started with -node-id and
+// -replicate-peers pointing at the other, fed disjoint halves of a stream.
+// Gossip must converge the two to byte-identical center sets over the union;
+// killing one node must leave the survivor serving that union (follower
+// promotion is nothing more than continuing to serve the last folded state).
+
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// reservePort grabs a free loopback port and releases it for the serve
+// stack to re-bind. The window between Close and the re-listen is racy in
+// principle, but the kernel does not hand the port out again immediately.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// replicaStats is the slice of /v1/stats these tests read.
+type replicaStats struct {
+	IngestedPoints int64 `json:"ingested_points"`
+	Replication    *struct {
+		Peers []struct {
+			Pushes      int64 `json:"pushes"`
+			Errors      int64 `json:"errors"`
+			Quarantined bool  `json:"quarantined"`
+		} `json:"peers"`
+		Origins []struct {
+			Origin  string `json:"origin"`
+			Version uint64 `json:"version"`
+			Merges  int64  `json:"merges"`
+		} `json:"origins"`
+	} `json:"replication"`
+}
+
+func TestRunServeReplicationConvergesAndPromotes(t *testing.T) {
+	addrA, addrB := reservePort(t), reservePort(t)
+
+	type node struct {
+		out  *syncBuffer
+		stop chan os.Signal
+		errc chan error
+		url  string
+	}
+	start := func(id, addr, peer string) *node {
+		t.Helper()
+		n := &node{out: &syncBuffer{}, stop: make(chan os.Signal, 1), errc: make(chan error, 1)}
+		go func() {
+			n.errc <- run([]string{"serve", "-addr", addr, "-k", "6", "-shards", "2",
+				"-node-id", id, "-replicate-peers", "http://" + peer,
+				"-replicate-interval", "20ms"}, n.out, n.stop)
+		}()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if m := serveURLRe.FindStringSubmatch(n.out.String()); m != nil {
+				n.url = m[1]
+				return n
+			}
+			select {
+			case err := <-n.errc:
+				t.Fatalf("serve %s exited early: %v\noutput:\n%s", id, err, n.out.String())
+			default:
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("serve %s never listened; output:\n%s", id, n.out.String())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	a := start("a", addrA, addrB)
+	b := start("b", addrB, addrA)
+
+	post := func(url, path, body string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp, buf.String()
+	}
+	getInto := func(url, path string, out any) int {
+		t.Helper()
+		resp, err := http.Get(url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("decode %s: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+	waitUntil := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Disjoint streams: node a sees the cluster near the origin, node b the
+	// cluster near (100,100). Neither node alone can cover both regions.
+	ingest := func(n *node, cx, cy float64) {
+		var pts []string
+		for i := 0; i < 40; i++ {
+			pts = append(pts, fmt.Sprintf("[%g,%g]", cx+float64(i%7)/10, cy+float64(i%5)/10))
+		}
+		resp, body := post(n.url, "/v1/ingest", `{"points": [`+strings.Join(pts, ",")+`]}`)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest: %d %s", resp.StatusCode, body)
+		}
+		waitUntil("ingest drained", func() bool {
+			var st replicaStats
+			getInto(n.url, "/v1/stats", &st)
+			return st.IngestedPoints >= 40
+		})
+	}
+	ingest(a, 0, 0)
+	ingest(b, 100, 100)
+
+	// Convergence: both nodes fold the other's state and serve the same
+	// centers byte for byte.
+	centersOf := func(n *node) ([][]float64, string) {
+		var cr struct {
+			Centers [][]float64 `json:"centers"`
+		}
+		if code := getInto(n.url, "/v1/centers", &cr); code != http.StatusOK {
+			return nil, ""
+		}
+		raw, err := json.Marshal(cr.Centers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cr.Centers, string(raw)
+	}
+	var centers [][]float64
+	waitUntil("byte-identical converged centers", func() bool {
+		ca, rawA := centersOf(a)
+		_, rawB := centersOf(b)
+		if rawA == "" || rawA != rawB {
+			return false
+		}
+		centers = ca
+		return true
+	})
+	var nearOrigin, nearFar bool
+	for _, c := range centers {
+		d0 := math.Hypot(c[0], c[1])
+		d1 := math.Hypot(c[0]-100, c[1]-100)
+		nearOrigin = nearOrigin || d0 < 10
+		nearFar = nearFar || d1 < 10
+	}
+	if !nearOrigin || !nearFar {
+		t.Fatalf("converged centers do not cover both regions: %v", centers)
+	}
+	var st replicaStats
+	getInto(b.url, "/v1/stats", &st)
+	if st.Replication == nil || len(st.Replication.Origins) != 1 || st.Replication.Origins[0].Origin != "a" {
+		t.Fatalf("node b stats missing folded origin a: %+v", st.Replication)
+	}
+
+	// Kill the primary. The follower keeps serving the union — including
+	// the dead node's region, which it never ingested — and books the now-
+	// failing pushes against the peer without degrading its own serving.
+	a.stop <- os.Interrupt
+	select {
+	case err := <-a.errc:
+		if err != nil {
+			t.Fatalf("node a shutdown: %v\noutput:\n%s", err, a.out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("node a did not shut down; output:\n%s", a.out.String())
+	}
+	resp, body := post(b.url, "/v1/assign", `{"points": [[0.3,0.3],[100.2,100.3]]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("survivor assign after primary death: %d %s", resp.StatusCode, body)
+	}
+	var ar struct {
+		Assignments []struct {
+			Center   int     `json:"center"`
+			Distance float64 `json:"distance"`
+		} `json:"assignments"`
+	}
+	if err := json.Unmarshal([]byte(body), &ar); err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Assignments) != 2 || ar.Assignments[0].Distance > 5 || ar.Assignments[1].Distance > 5 {
+		t.Fatalf("survivor does not cover the dead node's region: %s", body)
+	}
+	// The survivor's centers are exactly the converged set: promotion is
+	// continuing to serve the last folded union.
+	if _, raw := centersOf(b); raw == "" {
+		t.Fatal("survivor stopped serving centers")
+	} else {
+		want, _ := json.Marshal(centers)
+		if raw != string(want) {
+			t.Fatalf("survivor centers moved after primary death\nwant %s\ngot  %s", want, raw)
+		}
+	}
+	// Gossip is version-gated, so the survivor attempts no push until its
+	// own state moves; new local ingest makes one due, and it fails against
+	// the dead peer — booked on the peer, never degrading the survivor.
+	ingest(b, 200, 200)
+	waitUntil("survivor books failed pushes", func() bool {
+		var st replicaStats
+		getInto(b.url, "/v1/stats", &st)
+		return st.Replication != nil && len(st.Replication.Peers) == 1 && st.Replication.Peers[0].Errors >= 1
+	})
+	if code := getInto(b.url, "/v1/centers", nil); code != http.StatusOK {
+		t.Fatalf("survivor centers after failed pushes: %d", code)
+	}
+
+	b.stop <- os.Interrupt
+	select {
+	case err := <-b.errc:
+		if err != nil {
+			t.Fatalf("node b shutdown: %v\noutput:\n%s", err, b.out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("node b did not shut down; output:\n%s", b.out.String())
+	}
+}

@@ -44,7 +44,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -159,21 +158,80 @@ func (s *Snapshot) Restore(sh *stream.Sharded, metricName string) error {
 	return sh.RestoreState(&s.State)
 }
 
+// Encode serializes snap into its wire form: the fixed binary header
+// followed by the JSON payload. The same bytes are what Write persists to
+// disk and what the serving layer's /v1/replicate endpoint ships between
+// nodes, so both paths share one framing, checksum and validation
+// discipline; Decode is the inverse.
+func Encode(snap *Snapshot) ([]byte, error) {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	buf := make([]byte, headerLen+len(payload))
+	copy(buf[:8], magic[:])
+	binary.LittleEndian.PutUint32(buf[8:12], FormatVersion)
+	binary.LittleEndian.PutUint32(buf[12:16], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(len(payload)))
+	copy(buf[headerLen:], payload)
+	return buf, nil
+}
+
+// Decode verifies and decodes one complete encoded snapshot: magic, format
+// version, declared length (no truncation, no trailing bytes), checksum,
+// then the JSON payload — in that order, so nothing of a damaged buffer is
+// interpreted. Failures carry the same typed errors as Read: ErrCorrupt for
+// damage, ErrFormatVersion for a version this build does not speak. A
+// non-nil Snapshot is structurally decoded but not yet validated against any
+// ingester; Restore (or stream.MergeState) performs those checks.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("checkpoint: %w: header truncated: %d bytes", ErrCorrupt, len(data))
+	}
+	if [8]byte(data[:8]) != magic {
+		return nil, fmt.Errorf("checkpoint: %w: bad magic %q", ErrCorrupt, data[:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != FormatVersion {
+		return nil, fmt.Errorf("checkpoint: %w: payload has version %d, this build reads %d",
+			ErrFormatVersion, v, FormatVersion)
+	}
+	wantCRC := binary.LittleEndian.Uint32(data[12:16])
+	payloadLen := binary.LittleEndian.Uint64(data[16:24])
+	// An absurd length is corruption, not an allocation request.
+	const maxPayload = 1 << 30
+	if payloadLen > maxPayload {
+		return nil, fmt.Errorf("checkpoint: %w: payload length %d exceeds %d", ErrCorrupt, payloadLen, maxPayload)
+	}
+	if uint64(len(data)-headerLen) < payloadLen {
+		return nil, fmt.Errorf("checkpoint: %w: payload truncated: %d of %d bytes", ErrCorrupt, len(data)-headerLen, payloadLen)
+	}
+	// Trailing bytes mean the header lied about the length: treat the buffer
+	// as damaged rather than silently ignoring what follows.
+	if uint64(len(data)-headerLen) > payloadLen {
+		return nil, fmt.Errorf("checkpoint: %w: trailing bytes after payload", ErrCorrupt)
+	}
+	payload := data[headerLen:]
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("checkpoint: %w: checksum %08x, want %08x", ErrCorrupt, got, wantCRC)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w: payload does not decode: %v", ErrCorrupt, err)
+	}
+	return &snap, nil
+}
+
 // Write atomically persists snap to path: temp file in the same directory,
 // fsync, rename over path, fsync the directory. On return the file at path
 // is either the previous complete checkpoint (on error) or the new one (on
 // nil); no reader can observe a partial write.
 func Write(path string, snap *Snapshot) (err error) {
 	wstart := obs.Started() // zero (and unrecorded) while telemetry is disarmed
-	payload, err := json.Marshal(snap)
+	buf, err := Encode(snap)
 	if err != nil {
-		return fmt.Errorf("checkpoint: encode: %w", err)
+		return err
 	}
-	var hdr [headerLen]byte
-	copy(hdr[:8], magic[:])
-	binary.LittleEndian.PutUint32(hdr[8:12], FormatVersion)
-	binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(payload))
-	binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(payload)))
+	hdr, payload := buf[:headerLen], buf[headerLen:]
 
 	dir := filepath.Dir(path)
 	// Reap temp files a crashed predecessor left behind. Writes to one path
@@ -201,7 +259,7 @@ func Write(path string, snap *Snapshot) (err error) {
 			os.Remove(tmp.Name())
 		}
 	}()
-	if _, err = tmp.Write(hdr[:]); err != nil {
+	if _, err = tmp.Write(hdr); err != nil {
 		return fmt.Errorf("checkpoint: write %s: %w", tmp.Name(), err)
 	}
 	// The write fault fires between header and payload, so an injected
@@ -299,44 +357,18 @@ func Rotate(path string, keep int) {
 // version. A non-nil Snapshot is structurally decoded but not yet validated
 // against any ingester; Restore performs those checks.
 func Read(path string) (*Snapshot, error) {
-	f, err := os.Open(path)
+	// A checkpoint is O(shards·k·dim) bytes regardless of ingest volume, so
+	// reading it whole and verifying through Decode — the same routine the
+	// replication endpoint runs on wire payloads — keeps one validation
+	// order for every consumer of the format. Decode's length check rejects
+	// any file claiming an absurd payload before allocation matters.
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	defer f.Close()
-	var hdr [headerLen]byte
-	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		return nil, fmt.Errorf("checkpoint: %w: %s: header truncated: %v", ErrCorrupt, path, err)
+	snap, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if [8]byte(hdr[:8]) != magic {
-		return nil, fmt.Errorf("checkpoint: %w: %s: bad magic %q", ErrCorrupt, path, hdr[:8])
-	}
-	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != FormatVersion {
-		return nil, fmt.Errorf("checkpoint: %w: file has version %d, this build reads %d",
-			ErrFormatVersion, v, FormatVersion)
-	}
-	wantCRC := binary.LittleEndian.Uint32(hdr[12:16])
-	payloadLen := binary.LittleEndian.Uint64(hdr[16:24])
-	// An absurd length is corruption, not an allocation request.
-	const maxPayload = 1 << 30
-	if payloadLen > maxPayload {
-		return nil, fmt.Errorf("checkpoint: %w: %s: payload length %d exceeds %d", ErrCorrupt, path, payloadLen, maxPayload)
-	}
-	payload := make([]byte, payloadLen)
-	if _, err := io.ReadFull(f, payload); err != nil {
-		return nil, fmt.Errorf("checkpoint: %w: %s: payload truncated: %v", ErrCorrupt, path, err)
-	}
-	// Trailing bytes mean the header lied about the length: treat the file
-	// as damaged rather than silently ignoring what follows.
-	if n, _ := f.Read(make([]byte, 1)); n != 0 {
-		return nil, fmt.Errorf("checkpoint: %w: %s: trailing bytes after payload", ErrCorrupt, path)
-	}
-	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
-		return nil, fmt.Errorf("checkpoint: %w: %s: checksum %08x, want %08x", ErrCorrupt, path, got, wantCRC)
-	}
-	var snap Snapshot
-	if err := json.Unmarshal(payload, &snap); err != nil {
-		return nil, fmt.Errorf("checkpoint: %w: %s: payload does not decode: %v", ErrCorrupt, path, err)
-	}
-	return &snap, nil
+	return snap, nil
 }

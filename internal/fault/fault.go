@@ -60,6 +60,15 @@ const (
 	// reject the request as malformed, panic rules exercise the handler
 	// recovery middleware.
 	ServerDecode = "server.decode"
+	// ServerReplicatePush fires in the replication push loop as a node is
+	// about to ship a tenant's exported state to a peer; error rules fail
+	// that push (the peer backs off and is retried — the tenant keeps
+	// serving), delay rules model a slow network.
+	ServerReplicatePush = "server.replicate.push"
+	// ServerReplicateRecv fires in the /v1/replicate handler before the
+	// payload is decoded; error rules reject the push as corrupt (400,
+	// nothing merged), panic rules exercise the recovery middleware.
+	ServerReplicateRecv = "server.replicate.recv"
 )
 
 // ErrInjected is the root of every error an armed rule returns; detect with

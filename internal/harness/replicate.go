@@ -1,0 +1,329 @@
+// Replicated-serving experiment: a two-node topology over real loopback
+// HTTP — a leader ingesting the stream and gossiping its exported state,
+// a follower that never ingests a point serving assignment queries from
+// the folded summaries. Reports what an operator deciding on replication
+// needs: how stale the follower runs (the gossip lag behind the leader),
+// the follower's assignment latency percentiles while folds land under
+// load, and whether the two nodes converge to byte-identical centers once
+// the stream quiesces — the merge algebra's guarantee, observed end to end.
+
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kcenter/internal/metric"
+	"kcenter/internal/server"
+)
+
+// ReplicateSpec describes one replicated-serving run.
+type ReplicateSpec struct {
+	// K is the number of centers.
+	K int
+	// Shards is the leader's ingestion shard count; 0 means 1.
+	Shards int
+	// Clients is the number of concurrent assign clients driving the
+	// follower; 0 means 1.
+	Clients int
+	// Batch is the points per ingest request and queries per assign
+	// request; 0 means 256.
+	Batch int
+	// Interval is the leader's push period; 0 means 50ms.
+	Interval time.Duration
+}
+
+// ReplicateMeasurement is the outcome of one replicated-serving run.
+type ReplicateMeasurement struct {
+	// AssignP50/AssignP99 are follower assign latencies in milliseconds,
+	// measured while gossip folds land.
+	AssignP50, AssignP99 float64
+	// StalenessP50Ms/StalenessMaxMs summarize the follower's sampled lag
+	// behind the leader: seconds since the last applied fold, sampled at
+	// twice the push rate. The saw-tooth's typical value tracks the push
+	// interval; the max shows the worst lag the follower served at.
+	StalenessP50Ms, StalenessMaxMs float64
+	// Folds is how many pushes the follower applied.
+	Folds int64
+	// ConvergeMs is the gap between the leader's stream draining and the
+	// first moment the follower served centers byte-identical to the
+	// leader's.
+	ConvergeMs float64
+	// Converged confirms the byte-identical final state was reached.
+	Converged bool
+	// AssignRequests is the number of completed follower assigns.
+	AssignRequests int
+}
+
+// replStats is the slice of /v1/stats this experiment samples.
+type replStats struct {
+	IngestedPoints int64 `json:"ingested_points"`
+	Replication    *struct {
+		Origins []struct {
+			Merges           int64   `json:"merges"`
+			StalenessSeconds float64 `json:"staleness_seconds"`
+		} `json:"origins"`
+	} `json:"replication"`
+}
+
+// RunServeReplicate drives the two-node topology over ds and measures the
+// follower.
+func RunServeReplicate(ds *metric.Dataset, spec ReplicateSpec) (ReplicateMeasurement, error) {
+	if spec.Shards <= 0 {
+		spec.Shards = 1
+	}
+	if spec.Clients <= 0 {
+		spec.Clients = 1
+	}
+	if spec.Batch <= 0 {
+		spec.Batch = 256
+	}
+	if spec.Interval <= 0 {
+		spec.Interval = 50 * time.Millisecond
+	}
+	var m ReplicateMeasurement
+
+	follower, err := server.New(server.Config{K: spec.K, Shards: spec.Shards, NodeID: "follower"})
+	if err != nil {
+		return m, err
+	}
+	tsF := httptest.NewServer(follower.Handler())
+	defer tsF.Close()
+	leader, err := server.New(server.Config{
+		K: spec.K, Shards: spec.Shards, NodeID: "leader",
+		ReplicatePeers:    []string{tsF.URL},
+		ReplicateInterval: spec.Interval,
+	})
+	if err != nil {
+		return m, err
+	}
+	tsL := httptest.NewServer(leader.Handler())
+	defer tsL.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		leader.Close(ctx)
+		follower.Close(ctx)
+	}()
+
+	client := &http.Client{}
+	post := func(url, path string, body []byte) (int, []byte, error) {
+		resp, err := client.Post(url+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, b, err
+	}
+	getInto := func(url, path string, out any) error {
+		resp, err := client.Get(url + path)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+
+	n := ds.N
+	done := make(chan struct{})
+	var sampleWG sync.WaitGroup
+
+	// Staleness sampler: the follower's lag behind the leader, at twice the
+	// push rate.
+	var stalenessMs []float64
+	var folds atomic.Int64
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		tick := time.NewTicker(spec.Interval / 2)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				var st replStats
+				if err := getInto(tsF.URL, "/v1/stats", &st); err != nil {
+					continue
+				}
+				if st.Replication != nil && len(st.Replication.Origins) == 1 {
+					o := st.Replication.Origins[0]
+					folds.Store(o.Merges)
+					if o.Merges > 0 {
+						stalenessMs = append(stalenessMs, o.StalenessSeconds*1000)
+					}
+				}
+			}
+		}
+	}()
+
+	// Assign clients against the follower. 409s before the first fold (the
+	// follower has no state yet) are skipped, not measured.
+	queries := make([][]float64, spec.Batch)
+	for i := range queries {
+		queries[i] = ds.At(i % n)
+	}
+	assignBody, err := json.Marshal(struct {
+		Points [][]float64 `json:"points"`
+	}{queries})
+	if err != nil {
+		return m, err
+	}
+	latCh := make(chan []float64, spec.Clients)
+	for c := 0; c < spec.Clients; c++ {
+		go func() {
+			var lat []float64
+			for {
+				select {
+				case <-done:
+					latCh <- lat
+					return
+				default:
+				}
+				start := time.Now()
+				code, _, err := post(tsF.URL, "/v1/assign", assignBody)
+				if err == nil && code == http.StatusOK {
+					lat = append(lat, float64(time.Since(start).Microseconds())/1000)
+				}
+			}
+		}()
+	}
+
+	// The leader ingests the whole stream, then we wait for the drain.
+	buf := make([][]float64, 0, spec.Batch)
+	for lo := 0; lo < n; lo += spec.Batch {
+		buf = buf[:0]
+		for i := lo; i < lo+spec.Batch && i < n; i++ {
+			buf = append(buf, ds.At(i))
+		}
+		body, err := json.Marshal(struct {
+			Points [][]float64 `json:"points"`
+		}{buf})
+		if err != nil {
+			return m, err
+		}
+		for {
+			code, respBody, err := post(tsL.URL, "/v1/ingest", body)
+			if err != nil {
+				return m, err
+			}
+			if code == http.StatusAccepted {
+				break
+			}
+			if code == http.StatusTooManyRequests {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			return m, fmt.Errorf("leader ingest: %d %s", code, respBody)
+		}
+	}
+	drainDeadline := time.Now().Add(60 * time.Second)
+	for {
+		var st replStats
+		if err := getInto(tsL.URL, "/v1/stats", &st); err != nil {
+			return m, err
+		}
+		if st.IngestedPoints >= int64(n) {
+			break
+		}
+		if time.Now().After(drainDeadline) {
+			return m, fmt.Errorf("leader drained %d of %d points before timeout", st.IngestedPoints, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	drained := time.Now()
+
+	// Convergence: the follower serves centers byte-identical to the
+	// leader's final set.
+	centersOf := func(url string) ([]byte, error) {
+		var cr struct {
+			Centers json.RawMessage `json:"centers"`
+		}
+		if err := getInto(url, "/v1/centers", &cr); err != nil {
+			return nil, err
+		}
+		return cr.Centers, nil
+	}
+	convergeDeadline := time.Now().Add(30 * time.Second)
+	for !m.Converged && time.Now().Before(convergeDeadline) {
+		lc, err := centersOf(tsL.URL)
+		if err != nil {
+			return m, err
+		}
+		fc, err := centersOf(tsF.URL)
+		if err != nil {
+			return m, err
+		}
+		if len(lc) > 0 && bytes.Equal(lc, fc) {
+			m.Converged = true
+			m.ConvergeMs = float64(time.Since(drained).Microseconds()) / 1000
+			break
+		}
+		time.Sleep(spec.Interval / 4)
+	}
+
+	close(done)
+	var assignMs []float64
+	for c := 0; c < spec.Clients; c++ {
+		assignMs = append(assignMs, <-latCh...)
+	}
+	sampleWG.Wait()
+
+	// One final authoritative sample: on a short stream the periodic
+	// sampler can finish between folds, but the fold ledger is exact.
+	var st replStats
+	if err := getInto(tsF.URL, "/v1/stats", &st); err == nil &&
+		st.Replication != nil && len(st.Replication.Origins) == 1 {
+		o := st.Replication.Origins[0]
+		folds.Store(o.Merges)
+		if o.Merges > 0 {
+			stalenessMs = append(stalenessMs, o.StalenessSeconds*1000)
+		}
+	}
+
+	m.AssignP50 = percentile(assignMs, 0.50)
+	m.AssignP99 = percentile(assignMs, 0.99)
+	m.StalenessP50Ms = percentile(stalenessMs, 0.50)
+	m.StalenessMaxMs = percentile(stalenessMs, 1.0)
+	m.Folds = folds.Load()
+	m.AssignRequests = len(assignMs)
+	return m, nil
+}
+
+func init() {
+	registry = append(registry, Experiment{
+		ID:    "serve-replicate",
+		Title: "Two-node replication: leader pushes ExportState, follower serves assigns; staleness lag and follower latency",
+		Paper: "Not in the paper — extension: gossiped state summaries give read replicas within the sharded 10-approx bound",
+		Run: func(cfg RunConfig, w io.Writer) error {
+			cfg = cfg.withDefaults()
+			n := cfg.scaled(100_000)
+			ds := genGau(25)(n, cfg.Seed)
+			fmt.Fprintf(w, "GAU k'=25 n=%d, k=25, shards=4, push interval 50ms; follower latencies in ms\n", n)
+			fmt.Fprintf(w, "%8s %12s %12s %10s %12s %8s %12s %10s\n",
+				"clients", "assign-p50", "assign-p99", "stale-p50", "stale-max", "folds", "converge-ms", "converged")
+			for _, clients := range []int{1, 4} {
+				m, err := RunServeReplicate(ds, ReplicateSpec{K: 25, Shards: 4, Clients: clients})
+				if err != nil {
+					return fmt.Errorf("clients=%d: %w", clients, err)
+				}
+				if !m.Converged {
+					return fmt.Errorf("clients=%d: nodes did not converge to byte-identical centers", clients)
+				}
+				fmt.Fprintf(w, "%8d %12.3f %12.3f %10.1f %12.1f %8d %12.1f %10t\n",
+					clients, m.AssignP50, m.AssignP99, m.StalenessP50Ms, m.StalenessMaxMs,
+					m.Folds, m.ConvergeMs, m.Converged)
+			}
+			return nil
+		},
+	})
+}

@@ -8,6 +8,9 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"kcenter/internal/checkpoint"
+	"kcenter/internal/stream"
 )
 
 // fuzzSvc lazily builds one service per fuzzing process: an ingest target
@@ -133,6 +136,87 @@ func FuzzDecodeAssign(f *testing.F) {
 		if first.Code != second.Code || !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
 			t.Fatalf("assign is not deterministic on a frozen snapshot (pooled buffer aliasing?)\nfirst:  %d %q\nsecond: %d %q",
 				first.Code, first.Body.Bytes(), second.Code, second.Body.Bytes())
+		}
+	})
+}
+
+// Replicate fuzzing gets its own service (separate from the shared ingest /
+// assign pair: a successful fold mutates the merged view, which must not
+// perturb the frozen-snapshot determinism check above).
+var (
+	fuzzReplOnce  sync.Once
+	fuzzReplSvc   *Service
+	fuzzReplFrame []byte // one valid encoded peer state, for seeding
+)
+
+func fuzzReplicate(f *testing.F) (*Service, []byte) {
+	f.Helper()
+	fuzzReplOnce.Do(func() {
+		var err error
+		fuzzReplSvc, err = New(Config{K: 8, Shards: 2, MaxBatch: 256})
+		if err != nil {
+			panic(err)
+		}
+		donor, err := stream.NewSharded(stream.ShardedConfig{K: 8, Shards: 2, Origin: "peer"})
+		if err != nil {
+			panic(err)
+		}
+		for _, p := range genPoints(200, 7) {
+			if err := donor.Push(p); err != nil {
+				panic(err)
+			}
+		}
+		if _, err := donor.Finish(); err != nil {
+			panic(err)
+		}
+		fuzzReplFrame, err = checkpoint.Encode(checkpoint.Capture(donor, ""))
+		if err != nil {
+			panic(err)
+		}
+	})
+	return fuzzReplSvc, fuzzReplFrame
+}
+
+// FuzzDecodeReplicate POSTs arbitrary bytes to /v1/replicate. The contract
+// under fuzz: every reply is a documented status with a valid JSON body, the
+// handler never panics, and — the never-half-merge guarantee — any reply
+// other than 200 leaves the tenant's merged version (and hence its folded
+// state) exactly as it was. The checkpoint frame's CRC makes almost every
+// mutation of a valid frame detectably corrupt; what survives framing still
+// has to pass the full MergeState validation before anything is retained.
+func FuzzDecodeReplicate(f *testing.F) {
+	svc, frame := fuzzReplicate(f)
+	f.Add(frame)
+	f.Add(frame[:len(frame)/2])
+	f.Add([]byte("KCENTCKP"))
+	f.Add([]byte(`{"k":8,"state":{}}`))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	if len(frame) > 40 {
+		flipped := append([]byte(nil), frame...)
+		flipped[40] ^= 0x01
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		before := svc.handlerPanics.Load()
+		vbefore := svc.tenant.sh.MergedVersion()
+		req := httptest.NewRequest(http.MethodPost, "/v1/replicate", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/octet-stream")
+		req.Header.Set(OriginHeader, "peer")
+		rec := httptest.NewRecorder()
+		svc.Handler().ServeHTTP(rec, req)
+		if svc.handlerPanics.Load() != before {
+			t.Fatalf("replicate panicked on %d bytes", len(body))
+		}
+		if !knownStatus(rec.Code) {
+			t.Fatalf("replicate answered undocumented status %d", rec.Code)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("replicate answered invalid JSON %q", rec.Body.Bytes())
+		}
+		if rec.Code != http.StatusOK && svc.tenant.sh.MergedVersion() != vbefore {
+			t.Fatalf("half-merge: status %d but merged version moved %d -> %d",
+				rec.Code, vbefore, svc.tenant.sh.MergedVersion())
 		}
 	})
 }

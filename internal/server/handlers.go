@@ -296,8 +296,13 @@ type statsResponse struct {
 	// byte-identical to the pre-telemetry wire format.
 	IngestLatency *routeLatency `json:"ingest_latency,omitempty"`
 	AssignLatency *routeLatency `json:"assign_latency,omitempty"`
-	Snapshot      *snapshotMeta `json:"snapshot,omitempty"`
-	PerShard      []shardStats  `json:"per_shard,omitempty"`
+	// Replication describes this node's gossip state — its push peers and
+	// the remote origins folded into this tenant, with per-origin staleness.
+	// Attached only when the node pushes, carries a node id, or has folded
+	// remote state, so replication-free replies stay byte-identical.
+	Replication *replicationStats `json:"replication,omitempty"`
+	Snapshot    *snapshotMeta     `json:"snapshot,omitempty"`
+	PerShard    []shardStats      `json:"per_shard,omitempty"`
 	// Tenant names the tenant this reply describes (multi-tenant mode
 	// only; the fields above are always one tenant's view).
 	Tenant string `json:"tenant,omitempty"`
@@ -319,6 +324,7 @@ func (s *Service) routes() {
 	s.mux.HandleFunc("/v1/assign", s.handleAssign)
 	s.mux.HandleFunc("/v1/centers", s.handleCenters)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/replicate", s.handleReplicate)
 	s.mux.HandleFunc("/v1/tenants", s.handleTenants)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -887,6 +893,7 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.IngestLatency = routeLatencyFrom(&m.Routes[obs.RouteIngest].Total)
 		resp.AssignLatency = routeLatencyFrom(&m.Routes[obs.RouteAssign].Total)
 	}
+	resp.Replication = s.replicationBlock(t)
 	// Per-shard state is read live (cheap per-shard read locks, no merge)
 	// so its counters stay consistent with ingested_points above instead of
 	// freezing at the last center change the way the cached snapshot does.

@@ -238,6 +238,51 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Shard channel dwell aggregated over tenants.")
 	obs.WriteHistogram(w, "kcenter_shard_dwell_seconds", nil, aggDwell)
 
+	// Replication: push-side per peer, receive-side per tenant × origin.
+	// Families appear only once replication is in play, so scrapes of a
+	// replication-free node are unchanged.
+	if len(s.peers) > 0 {
+		obs.WriteHeader(w, "kcenter_replicate_peer_pushes_total", "counter", "Successful state pushes per peer.")
+		for _, p := range s.peers {
+			obs.WriteSample(w, "kcenter_replicate_peer_pushes_total", peerLabel(p), float64(p.pushes.Load()))
+		}
+		obs.WriteHeader(w, "kcenter_replicate_peer_errors_total", "counter", "Failed state pushes per peer.")
+		for _, p := range s.peers {
+			obs.WriteSample(w, "kcenter_replicate_peer_errors_total", peerLabel(p), float64(p.errors.Load()))
+		}
+		obs.WriteHeader(w, "kcenter_replicate_peer_quarantined", "gauge", "1 while the peer is backing off after push failures.")
+		for _, p := range s.peers {
+			obs.WriteSample(w, "kcenter_replicate_peer_quarantined", peerLabel(p), boolGauge(p.status().Quarantined))
+		}
+	}
+	now := time.Now()
+	var originScrapes []struct {
+		t  *tenant
+		os originStatus
+	}
+	for _, ts := range scrapes {
+		for _, os := range ts.t.originStatuses(now) {
+			originScrapes = append(originScrapes, struct {
+				t  *tenant
+				os originStatus
+			}{ts.t, os})
+		}
+	}
+	if len(originScrapes) > 0 {
+		obs.WriteHeader(w, "kcenter_tenant_replicate_merges_total", "counter", "Remote states folded into the tenant, per origin.")
+		for _, sc := range originScrapes {
+			obs.WriteSample(w, "kcenter_tenant_replicate_merges_total", originLabels(sc.t, sc.os), float64(sc.os.Merges))
+		}
+		obs.WriteHeader(w, "kcenter_tenant_replicate_rejects_total", "counter", "Inbound states rejected by validation, per origin.")
+		for _, sc := range originScrapes {
+			obs.WriteSample(w, "kcenter_tenant_replicate_rejects_total", originLabels(sc.t, sc.os), float64(sc.os.Rejects))
+		}
+		obs.WriteHeader(w, "kcenter_tenant_replicate_staleness_seconds", "gauge", "Seconds since the origin's last applied state arrived.")
+		for _, sc := range originScrapes {
+			obs.WriteSample(w, "kcenter_tenant_replicate_staleness_seconds", originLabels(sc.t, sc.os), sc.os.StalenessSeconds)
+		}
+	}
+
 	// Process-wide checkpoint durations (no tenant: the write path is
 	// shared by every tenant's checkpoint loop).
 	obs.WriteHeader(w, "kcenter_checkpoint_write_duration_seconds", "histogram",
@@ -257,6 +302,14 @@ func boolGauge(b bool) float64 {
 
 func tenantLabel(t *tenant) []obs.Label {
 	return []obs.Label{{Name: "tenant", Value: t.name}}
+}
+
+func peerLabel(p *replicaPeer) []obs.Label {
+	return []obs.Label{{Name: "peer", Value: p.url}}
+}
+
+func originLabels(t *tenant, os originStatus) []obs.Label {
+	return append(tenantLabel(t), obs.Label{Name: "origin", Value: os.Origin})
 }
 
 // streamCounter reads a tenant's burst counters, tolerating quarantined

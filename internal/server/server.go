@@ -8,7 +8,7 @@
 // the original single-tenant wire format.
 //
 // The paper makes k-center fast enough to serve at scale; this package is
-// where that capacity meets traffic. Seven endpoints:
+// where that capacity meets traffic. Eight endpoints:
 //
 //	POST /v1/ingest   batched point ingestion. Batches are validated, then
 //	                  enqueued on the tenant's bounded queue consumed by
@@ -29,6 +29,11 @@
 //	                  crossover, metric.NearestInRange below it.
 //	GET  /v1/centers  the tenant's current ≤ k center coordinates and
 //	                  certified coverage bounds.
+//	POST /v1/replicate one peer node's checksummed exported clustering
+//	                  state, folded into the named tenant's merged view so
+//	                  this node serves assign/centers against the union
+//	                  summary (see replicate.go; the push side is the
+//	                  Config.ReplicatePeers loop).
 //	GET  /v1/stats    per-tenant service counters (points, batches,
 //	                  distance evaluations), snapshot version and per-shard
 //	                  state; in multi-tenant mode the default view also
@@ -179,6 +184,26 @@ type Config struct {
 	// DefaultK is the center budget for lazily created tenants that do not
 	// pin their own with the X-Kcenter-K header; 0 means K.
 	DefaultK int
+	// NodeID names this node in the replication gossip: the origin label
+	// its pushed states carry and the label under which its own local
+	// summaries enter the merged union, so peers key their per-origin slots
+	// consistently. Required when ReplicatePeers is set; must be a valid
+	// tenant-style name so it is safe on the wire. Empty (the default)
+	// leaves the node unlabeled, which is fine for a node that only
+	// receives.
+	NodeID string
+	// ReplicatePeers lists peer base URLs (e.g. http://10.0.0.2:8080) this
+	// node pushes every tenant's exported clustering state to. Each tick of
+	// the push loop ships a tenant's state to every peer whose last
+	// acknowledged version is stale; push failures back the peer off under
+	// capped exponential backoff (the peer is quarantined, never the
+	// tenant). Empty disables pushing; the /v1/replicate endpoint accepts
+	// inbound states regardless.
+	ReplicatePeers []string
+	// ReplicateInterval is the push loop period; 0 means 2s. Staleness on a
+	// healthy link is bounded by roughly one interval plus the transfer
+	// time.
+	ReplicateInterval time.Duration
 	// Telemetry arms the process-wide obs package (per-stage latency
 	// histograms, request traces, shard dwell, checkpoint durations) so GET
 	// /metrics and the /v1/stats latency fields carry live distributions.
@@ -233,6 +258,20 @@ func (c Config) withDefaults() (Config, error) {
 	if c.SlowRequest < 0 {
 		c.SlowRequest = 0
 	}
+	if c.ReplicateInterval <= 0 {
+		c.ReplicateInterval = 2 * time.Second
+	}
+	if c.NodeID != "" && !validTenantName(c.NodeID) {
+		return c, fmt.Errorf("server: invalid node id %q", c.NodeID)
+	}
+	if len(c.ReplicatePeers) > 0 && c.NodeID == "" {
+		return c, fmt.Errorf("server: replicate peers require a node id (peers key per-origin state by it)")
+	}
+	for _, p := range c.ReplicatePeers {
+		if p == "" {
+			return c, fmt.Errorf("server: empty replicate peer URL")
+		}
+	}
 	return c, nil
 }
 
@@ -267,6 +306,10 @@ type Service struct {
 	// handlerPanics counts panics the HTTP recovery middleware contained
 	// (each answered 500 instead of killing the process).
 	handlerPanics atomic.Int64
+
+	// peers are the replication push targets (nil when ReplicatePeers is
+	// empty); each tracks its own sent-version and backoff state.
+	peers []*replicaPeer
 
 	// assignInflight counts assign requests across their whole handler
 	// lifetime, body read included — the coalescer's solo-bypass signal
@@ -352,6 +395,11 @@ func New(cfg Config) (*Service, error) {
 	if cfg.CheckpointPath != "" {
 		s.wg.Add(1)
 		go s.checkpointLoop()
+	}
+	if len(cfg.ReplicatePeers) > 0 {
+		s.peers = newReplicaPeers(cfg.ReplicatePeers)
+		s.wg.Add(1)
+		go s.replicateLoop()
 	}
 	return s, nil
 }

@@ -160,7 +160,16 @@ type tenant struct {
 	// after construction.
 	failed error
 
-	// Snapshot cache: one entry, keyed by this tenant's center version.
+	// Replication receive state (guarded by repMu): per-origin fold
+	// accounting behind the /v1/stats replication block — how many folds
+	// each peer's pushes applied vs were rejected, and when the last
+	// accepted state arrived (the staleness clock). The folded states
+	// themselves live in the ingester's per-origin slots (stream.MergeState).
+	repMu   sync.Mutex
+	repRecv map[string]*originRecv
+
+	// Snapshot cache: one entry, keyed by this tenant's merged center
+	// version (MergedVersion: local center changes plus remote folds).
 	// Readers hit the atomic pointer lock-free; snapMu serializes rebuilds
 	// only, so a center change triggers exactly one merge per tenant, not
 	// a thundering herd.
@@ -215,6 +224,7 @@ func (s *Service) newTenant(name string, k, shards int) (*tenant, error) {
 		Shards: shards,
 		Buffer: s.cfg.Buffer,
 		Obs:    &metrics.Stream,
+		Origin: s.cfg.NodeID,
 	})
 	if err != nil {
 		return nil, err
@@ -727,7 +737,10 @@ func (t *tenant) enqueue(ctx context.Context, batch [][]float64) error {
 func (t *tenant) dimInt() int { return int(t.dim.Load()) }
 
 // snapshot returns the tenant's cached consistent view, rebuilding it only
-// when some shard's center set has changed since the cached one was taken.
+// when the merged version has moved since the cached one was taken — some
+// local shard's center set changed, or a replicated remote state was folded
+// in (MergedVersion covers both, and collapses to the local center version
+// when replication is idle).
 // The steady-state read is lock-free (one atomic load after the version
 // read); snapMu is taken only around a rebuild, with the version re-checked
 // under it so racing readers trigger one merge, not one each. The version
@@ -742,7 +755,7 @@ func (t *tenant) snapshot() (*querySnapshot, error) {
 		}
 		return nil, derr
 	}
-	v := t.sh.CentersVersion()
+	v := t.sh.MergedVersion()
 	if qs := t.snap.Load(); qs != nil && qs.version == v {
 		return qs, nil
 	}

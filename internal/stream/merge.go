@@ -1,0 +1,201 @@
+// Replication merge: folding exported states from peer ingesters into the
+// live merged view. A Sharded ingester keeps one slot per remote origin
+// holding that peer's latest ShardedState; Snapshot and Finish recluster the
+// union of the local shard centers and every remote state's shard centers
+// through the same Gonzalez pass that merges local shards. The slots form a
+// join-semilattice — latest-wins per origin, union across origins — so folds
+// are idempotent and order-independent: any gossip schedule that delivers
+// the same final per-origin states yields byte-identical merged centers
+// (the union is assembled in sorted-origin order, local summaries under the
+// configured Origin label).
+//
+// The coverage accounting is the sharded-merge bound unchanged: a remote
+// shard summary is exactly a local shard summary that happens to live on
+// another node, so the merged Bound is MergeRadius plus the worst 4r over
+// every contributing summary, local or remote — at most 10·OPT of the union
+// stream.
+
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kcenter/internal/metric"
+)
+
+// RemoteStat reports one folded remote origin for stats endpoints.
+type RemoteStat struct {
+	// Origin is the peer's node label (the MergeState key).
+	Origin string
+	// Version is the state's summed center-set version counter.
+	Version uint64
+	// Shards is the number of shard summaries the state carries.
+	Shards int
+	// Centers is the total retained center count across those shards.
+	Centers int
+	// Ingested is the number of points the state has seen.
+	Ingested int64
+}
+
+// clone deep-copies the state so the ingester's retained slot shares no
+// storage with the caller's value.
+func (st *ShardedState) clone() *ShardedState {
+	cp := &ShardedState{K: st.K, Dim: st.Dim, Next: st.Next}
+	cp.Shards = make([]SummaryState, len(st.Shards))
+	for i := range st.Shards {
+		c := st.Shards[i]
+		c.Centers = make([][]float64, len(st.Shards[i].Centers))
+		for j, row := range st.Shards[i].Centers {
+			c.Centers[j] = append([]float64(nil), row...)
+		}
+		cp.Shards[i] = c
+	}
+	return cp
+}
+
+// checkSeparation verifies doubling invariant (I2) on an exported summary:
+// retained centers pairwise more than 2r apart (distinct when r is 0). It is
+// the same refusal restoreState applies after rebuilding its matrix, run
+// directly over the state so MergeState can reject before retaining anything.
+func checkSeparation(st SummaryState, m metric.Interface) error {
+	for i := range st.Centers {
+		for j := i + 1; j < len(st.Centers); j++ {
+			var d float64
+			if m == nil {
+				d = math.Sqrt(metric.SqDist(st.Centers[i], st.Centers[j]))
+			} else {
+				d = m.Distance(st.Centers[i], st.Centers[j])
+			}
+			if d <= 2*st.R {
+				return fmt.Errorf("stream: %w: centers %d and %d are %v apart, at most the doubling separation %v",
+					ErrStateInvalid, i, j, d, 2*st.R)
+			}
+		}
+	}
+	return nil
+}
+
+// MergeState folds an exported state from the named remote origin into this
+// ingester's merged views: after it returns, Snapshot and Finish recluster
+// the union of the local shard centers and every remote state's shard
+// centers. One slot is kept per origin, latest CentersVersion wins; a state
+// at or below the slot's version is a no-op (re-merging the same state never
+// grows the center set), so delivery may be retried, duplicated or reordered
+// freely. The state is validated in full — k must match, dimensions must be
+// consistent, every shard summary must satisfy the doubling invariants —
+// before anything is retained: on error nothing changes and MergedVersion is
+// unchanged. The state is copied; the caller keeps ownership of st. Safe for
+// concurrent use with Push, Snapshot and other MergeState calls.
+func (s *Sharded) MergeState(origin string, st *ShardedState) error {
+	if origin == "" {
+		return fmt.Errorf("stream: %w: empty origin", ErrStateInvalid)
+	}
+	if origin == s.cfg.Origin {
+		return fmt.Errorf("stream: %w: state from self (origin %q)", ErrStateMismatch, origin)
+	}
+	if st == nil {
+		return fmt.Errorf("stream: %w: nil state", ErrStateInvalid)
+	}
+	if st.K != s.cfg.K {
+		return fmt.Errorf("stream: %w: state k=%d, ingester k=%d", ErrStateMismatch, st.K, s.cfg.K)
+	}
+	if st.Dim < 0 {
+		return fmt.Errorf("stream: %w: negative dimension %d", ErrStateInvalid, st.Dim)
+	}
+	if d := s.dim.Load(); d != 0 && st.Dim != 0 && st.Dim != int(d) {
+		return fmt.Errorf("stream: %w: state dimension %d, ingester dimension %d", ErrStateMismatch, st.Dim, d)
+	}
+	for i := range st.Shards {
+		if st.Dim == 0 && len(st.Shards[i].Centers) > 0 {
+			return fmt.Errorf("stream: %w: shard %d has centers but the state has dimension 0", ErrStateInvalid, i)
+		}
+		if err := validateSummaryState(st.Shards[i], st.K, st.Dim); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if err := checkSeparation(st.Shards[i], s.cfg.Metric); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	ver := st.CentersVersion()
+	s.remMu.Lock()
+	defer s.remMu.Unlock()
+	if old, ok := s.remotes[origin]; ok && old.CentersVersion() >= ver {
+		return nil
+	}
+	// Pin the local dimensionality so a follower that merged before its
+	// first local Push rejects later points of another width, exactly as if
+	// it had ingested the remote stream itself. The CAS sits after every
+	// validation so a rejected state mutates nothing; it can still lose to a
+	// concurrent first Push of a different width, which is the mismatch case
+	// above, just detected at apply time.
+	if st.Dim > 0 && !s.dim.CompareAndSwap(0, int64(st.Dim)) {
+		if got := s.dim.Load(); got != int64(st.Dim) {
+			return fmt.Errorf("stream: %w: state dimension %d, ingester dimension %d", ErrStateMismatch, st.Dim, got)
+		}
+	}
+	if s.remotes == nil {
+		s.remotes = make(map[string]*ShardedState)
+	}
+	s.remotes[origin] = st.clone()
+	s.remVer.Add(1)
+	return nil
+}
+
+// MergedVersion extends CentersVersion to the merged view: it additionally
+// increases every time a remote fold changes the retained per-origin states,
+// so it is the invalidation key for any cache built over Snapshot when
+// replication is in play. With no remote states it equals CentersVersion.
+func (s *Sharded) MergedVersion() uint64 {
+	return s.CentersVersion() + s.remVer.Load()
+}
+
+// RemoteStates reports the folded remote origins, sorted by origin label —
+// the per-peer view a stats endpoint exposes. Empty when no state has been
+// merged.
+func (s *Sharded) RemoteStates() []RemoteStat {
+	s.remMu.RLock()
+	defer s.remMu.RUnlock()
+	if len(s.remotes) == 0 {
+		return nil
+	}
+	out := make([]RemoteStat, 0, len(s.remotes))
+	for origin, st := range s.remotes {
+		rs := RemoteStat{
+			Origin:   origin,
+			Version:  st.CentersVersion(),
+			Shards:   len(st.Shards),
+			Ingested: st.Ingested(),
+		}
+		for i := range st.Shards {
+			rs.Centers += len(st.Shards[i].Centers)
+		}
+		out = append(out, rs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })
+	return out
+}
+
+// remoteSource pairs an origin label with its retained state for the merge.
+type remoteSource struct {
+	origin string
+	st     *ShardedState
+}
+
+// remoteSources snapshots the per-origin slots in sorted-origin order.
+// Retained states are never mutated after MergeState stores them, so sharing
+// the pointers with the read-only merge is safe.
+func (s *Sharded) remoteSources() []remoteSource {
+	s.remMu.RLock()
+	defer s.remMu.RUnlock()
+	if len(s.remotes) == 0 {
+		return nil
+	}
+	out := make([]remoteSource, 0, len(s.remotes))
+	for origin, st := range s.remotes {
+		out = append(out, remoteSource{origin: origin, st: st})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].origin < out[j].origin })
+	return out
+}

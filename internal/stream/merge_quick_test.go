@@ -1,0 +1,324 @@
+// Property suite for the replication merge algebra (MergeState): the
+// per-origin slots form a join-semilattice — latest-wins per origin, union
+// across origins — so folds must be order-independent (commutative and
+// associative over any gossip schedule), idempotent (re-merging a state a
+// peer already delivered changes nothing), and invariant-preserving (a
+// retained state still satisfies doubling invariant (I2), and a rejected
+// one leaves no trace). The merged clustering must stay inside the sharded
+// 10-approx bound against offline Gonzalez on the union stream, exactly as
+// if every remote shard had been a local one.
+
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kcenter/internal/core"
+	"kcenter/internal/metric"
+)
+
+// mergeNode builds a replication-labelled ingester for merge tests.
+func mergeNode(k, shards int, origin string) *Sharded {
+	sh, err := NewSharded(ShardedConfig{K: k, Shards: shards, Origin: origin})
+	if err != nil {
+		panic(err)
+	}
+	return sh
+}
+
+// feedRows pushes rows [lo, hi) of ds from a single producer, so the shard
+// routing — and hence the per-shard summaries — are deterministic.
+func feedRows(sh *Sharded, ds *metric.Dataset, lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		if err := sh.Push(ds.At(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drained waits until the shard goroutines have consumed want points, so
+// ExportState and Snapshot reflect everything pushed; Push is asynchronous
+// and tests needing deterministic views must not race the shard channels.
+func drained(sh *Sharded, want int64) bool {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var n int64
+		for _, st := range sh.PerShardStats() {
+			n += st.Ingested
+		}
+		if n == want {
+			return true
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return false
+}
+
+// sameCenters reports bit-identical center matrices.
+func sameCenters(a, b *metric.Dataset) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.N != b.N || a.Dim != b.Dim {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// exportSlice runs rows [lo, hi) through a fresh node and returns its
+// complete exported state (Finish drains, and ExportState after Finish sees
+// every point).
+func exportSlice(k, shards int, origin string, ds *metric.Dataset, lo, hi int) (*ShardedState, error) {
+	node := mergeNode(k, shards, origin)
+	if err := feedRows(node, ds, lo, hi); err != nil {
+		return nil, err
+	}
+	if _, err := node.Finish(); err != nil {
+		return nil, err
+	}
+	return node.ExportState(), nil
+}
+
+// Property: folding the same set of peer states in any order yields a
+// byte-identical merged clustering — centers, bound and ingest accounting —
+// because the slots are keyed by origin and the union is assembled in
+// sorted-origin order. This is merge commutativity and associativity in one:
+// every gossip delivery schedule is some order of folds.
+func TestQuickMergeStateOrderIndependent(t *testing.T) {
+	f := func(seed uint64, nRaw, dimRaw, kRaw, shardsRaw uint8) bool {
+		ds := quickInstance(seed, nRaw, dimRaw)
+		k := int(kRaw%5) + 2
+		shards := int(shardsRaw%3) + 1
+		cut1, cut2 := ds.N/3, 2*ds.N/3
+		spans := [][2]int{{0, cut1}, {cut1, cut2}, {cut2, ds.N}}
+		states := make([]*ShardedState, len(spans))
+		for i, sp := range spans {
+			st, err := exportSlice(k, shards, fmt.Sprintf("node-%d", i), ds, sp[0], sp[1])
+			if err != nil {
+				return false
+			}
+			states[i] = st
+		}
+		var ref *Result
+		for _, perm := range [][]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}} {
+			obs := mergeNode(k, shards, "observer")
+			for _, idx := range perm {
+				if err := obs.MergeState(fmt.Sprintf("node-%d", idx), states[idx]); err != nil {
+					return false
+				}
+			}
+			res, err := obs.Finish()
+			if err != nil {
+				return false
+			}
+			if res.Remotes != 3 || res.Ingested != int64(ds.N) {
+				return false
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if !sameCenters(ref.Centers, res.Centers) || ref.Bound != res.Bound ||
+				ref.LowerBound != res.LowerBound || ref.MergeRadius != res.MergeRadius {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: two peers that ingest disjoint halves and cross-fold each
+// other's exported state converge to byte-identical centers — the sorted-
+// origin union makes "which summaries are local" invisible — and the merged
+// clustering is certified: realized coverage of the whole stream within
+// Bound, Bound within 10× offline Gonzalez on the union (GON ≥ OPT, so this
+// is implied by the 10·OPT theorem), LowerBound below GON.
+func TestQuickMergeStateConvergesAndBounded(t *testing.T) {
+	f := func(seed uint64, nRaw, dimRaw, kRaw, shardsRaw uint8) bool {
+		ds := quickInstance(seed, nRaw, dimRaw)
+		k := int(kRaw%5) + 2
+		shards := int(shardsRaw%3) + 1
+		mid := ds.N / 2
+		alpha := mergeNode(k, shards, "alpha")
+		beta := mergeNode(k, shards, "beta")
+		if feedRows(alpha, ds, 0, mid) != nil || feedRows(beta, ds, mid, ds.N) != nil {
+			return false
+		}
+		if !drained(alpha, int64(mid)) || !drained(beta, int64(ds.N-mid)) {
+			return false
+		}
+		stA, stB := alpha.ExportState(), beta.ExportState()
+		if alpha.MergeState("beta", stB) != nil || beta.MergeState("alpha", stA) != nil {
+			return false
+		}
+		resA, errA := alpha.Snapshot()
+		resB, errB := beta.Snapshot()
+		if errA != nil || errB != nil {
+			return false
+		}
+		defer alpha.Finish()
+		defer beta.Finish()
+		if !sameCenters(resA.Centers, resB.Centers) || resA.Bound != resB.Bound {
+			return false
+		}
+		if resA.Ingested != int64(ds.N) || resA.Remotes != 1 {
+			return false
+		}
+		realized := Cover(ds, resA.Centers, nil)
+		if realized > resA.Bound+1e-9 {
+			return false
+		}
+		gon := core.Gonzalez(ds, k, core.Options{First: 0})
+		return resA.Bound <= 10*gon.Radius+1e-9 && resA.LowerBound <= gon.Radius+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: re-merging a state the slot already holds — the same pointer, a
+// deep copy, or an earlier export of a prefix (lower or equal version) — is
+// a complete no-op: MergedVersion does not advance, the merged center set
+// does not grow or change, and every retained state still satisfies the
+// doubling separation invariant (I2).
+func TestQuickMergeStateIdempotent(t *testing.T) {
+	f := func(seed uint64, nRaw, dimRaw, kRaw uint8) bool {
+		ds := quickInstance(seed, nRaw, dimRaw)
+		k := int(kRaw%5) + 2
+		mid := ds.N / 2
+		stHalf, err := exportSlice(k, 2, "peer", ds, 0, mid)
+		if err != nil {
+			return false
+		}
+		stFull, err := exportSlice(k, 2, "peer", ds, 0, ds.N)
+		if err != nil {
+			return false
+		}
+		obs := mergeNode(k, 2, "observer")
+		defer obs.Finish()
+		if obs.MergeState("peer", stFull) != nil {
+			return false
+		}
+		v := obs.MergedVersion()
+		snap, err := obs.Snapshot()
+		if err != nil {
+			return false
+		}
+		for _, dup := range []*ShardedState{stFull, stFull.clone(), stHalf} {
+			if obs.MergeState("peer", dup) != nil {
+				return false
+			}
+		}
+		if obs.MergedVersion() != v {
+			return false
+		}
+		again, err := obs.Snapshot()
+		if err != nil || !sameCenters(snap.Centers, again.Centers) || again.Bound != snap.Bound {
+			return false
+		}
+		obs.remMu.RLock()
+		defer obs.remMu.RUnlock()
+		for _, st := range obs.remotes {
+			for i := range st.Shards {
+				if checkSeparation(st.Shards[i], nil) != nil {
+					return false
+				}
+			}
+		}
+		return len(obs.remotes) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A rejected fold must leave no trace: typed error, MergedVersion unchanged,
+// merged centers unchanged — the never-half-merge contract the /v1/replicate
+// fuzz target leans on.
+func TestMergeStateRejectsInvalid(t *testing.T) {
+	ds := randomDataset(400, 3, 77)
+	st, err := exportSlice(4, 2, "peer", ds, 0, ds.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := mergeNode(4, 2, "observer")
+	defer obs.Finish()
+	if err := feedRows(obs, ds, 0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if !drained(obs, 50) {
+		t.Fatal("observer did not drain")
+	}
+	if err := obs.MergeState("peer", st); err != nil {
+		t.Fatal(err)
+	}
+	v := obs.MergedVersion()
+	snap, err := obs.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nan := st.clone()
+	nan.Shards[0].Centers[0][0] = math.NaN()
+	tooClose := st.clone()
+	if len(tooClose.Shards[0].Centers) > 1 {
+		copy(tooClose.Shards[0].Centers[1], tooClose.Shards[0].Centers[0])
+	} else {
+		tooClose = nil
+	}
+	wrongK := st.clone()
+	wrongK.K++
+	overBudget := st.clone()
+	overBudget.Shards[0].Centers = append(overBudget.Shards[0].Centers, overBudget.Shards[0].Centers[0])
+
+	cases := []struct {
+		name   string
+		origin string
+		st     *ShardedState
+		want   error
+	}{
+		{"nan coordinate", "evil", nan, ErrStateInvalid},
+		{"separation violated", "evil", tooClose, ErrStateInvalid},
+		{"wrong k", "evil", wrongK, ErrStateMismatch},
+		{"over center budget", "evil", overBudget, ErrStateInvalid},
+		{"nil state", "evil", nil, ErrStateInvalid},
+		{"empty origin", "", st, ErrStateInvalid},
+		{"self origin", "observer", st, ErrStateMismatch},
+	}
+	for _, tc := range cases {
+		if tc.st == nil && tc.want == nil {
+			continue
+		}
+		if tc.name == "separation violated" && tc.st == nil {
+			continue // single-center export: nothing to collide
+		}
+		err := obs.MergeState(tc.origin, tc.st)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want errors.Is %v", tc.name, err, tc.want)
+		}
+	}
+	if got := obs.MergedVersion(); got != v {
+		t.Fatalf("MergedVersion moved on rejected folds: %d != %d", got, v)
+	}
+	again, err := obs.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameCenters(snap.Centers, again.Centers) {
+		t.Fatal("merged centers changed after rejected folds")
+	}
+}

@@ -44,6 +44,14 @@ type ShardedConfig struct {
 	// Metric configures every shard Summary and the final merge; nil means
 	// Euclidean.
 	Metric metric.Interface
+	// Origin labels this ingester's own summaries in the merged union when
+	// remote states are folded in with MergeState: contributing sources are
+	// ordered by origin label (shards in index order within a source), so
+	// two peers holding the same set of states build byte-identical merged
+	// centers regardless of which summaries are local to each. Empty (the
+	// default, fine for single-node use) sorts before any remote origin,
+	// preserving the historical local-shards-first order.
+	Origin string
 	// Obs, when non-nil, receives shard-side telemetry while the obs
 	// package is armed: how long each message dwelt in its shard channel
 	// (the ingest pipeline's internal queue wait) and burst-drain occupancy
@@ -84,9 +92,14 @@ type Result struct {
 	MergeRadius float64
 	// UnionSize is the number of shard centers the merge reclustered (≤ s·k).
 	UnionSize int
-	// Ingested is the total number of points pushed.
+	// Ingested is the total number of points pushed, including points the
+	// folded remote states report (their exporters pushed them; this node
+	// merely merged the summaries).
 	Ingested int64
-	// PerShard reports each shard's final state, indexed by shard.
+	// Remotes is the number of remote origins whose states were folded into
+	// this view via MergeState (0 for a purely local merge).
+	Remotes int
+	// PerShard reports each local shard's final state, indexed by shard.
 	PerShard []ShardStats
 }
 
@@ -142,6 +155,14 @@ type Sharded struct {
 	// instead of a send-on-closed-channel panic. Pushes hold the read side,
 	// so the common path stays concurrent.
 	mu sync.RWMutex
+	// remMu guards remotes: one retained ShardedState per remote origin,
+	// folded into every merge (see MergeState in merge.go). Stored states
+	// are immutable once in the map, so readers share the pointers.
+	remMu   sync.RWMutex
+	remotes map[string]*ShardedState
+	// remVer counts accepted remote folds; CentersVersion + remVer is the
+	// merged view's invalidation key (see MergedVersion).
+	remVer atomic.Uint64
 }
 
 // NewSharded starts the shard goroutines and returns the ingester.
@@ -361,6 +382,7 @@ func (s *Sharded) PerShardStats() []ShardStats {
 
 // Snapshot reads the current clustering without stopping ingestion: the
 // union of the shard center sets (each read under that shard's read lock),
+// plus the centers of any remote states folded in with MergeState,
 // reclustered to ≤ k centers with a Gonzalez pass when the union overflows
 // — exactly the Finish merge, minus the drain. It serves live queries
 // mid-stream; points still buffered in shard channels are not yet
@@ -377,13 +399,16 @@ func (s *Sharded) Snapshot() (*Result, error) {
 }
 
 // mergeShards builds a Result from the shard summaries: per-shard stats,
-// the union of shard centers, and the Gonzalez recluster + certified bound
-// when the union exceeds k. It is the single merge implementation behind
-// Finish (locked=false: every shard goroutine has exited) and Snapshot
-// (locked=true: each shard is read under its lock while ingestion runs).
+// the union of shard centers — local shards plus any remote states folded in
+// with MergeState, assembled in sorted-origin order so every peer holding
+// the same states builds the same union — and the Gonzalez recluster +
+// certified bound when the union exceeds k. It is the single merge
+// implementation behind Finish (locked=false: every shard goroutine has
+// exited) and Snapshot (locked=true: each shard is read under its lock while
+// ingestion runs).
 func (s *Sharded) mergeShards(locked bool, op string) (*Result, error) {
 	res := &Result{PerShard: make([]ShardStats, len(s.summaries))}
-	var union *metric.Dataset
+	local := make([]*metric.Dataset, len(s.summaries))
 	var worstShardBound float64
 	for i, sum := range s.summaries {
 		if locked {
@@ -396,7 +421,7 @@ func (s *Sharded) mergeShards(locked bool, op string) (*Result, error) {
 			Merges:   sum.Merges(),
 		}
 		bound, lower := sum.Bound(), sum.LowerBound()
-		centers := sum.Centers() // deep copy; safe to use after unlock
+		local[i] = sum.Centers() // deep copy; safe to use after unlock
 		if locked {
 			s.sumLocks[i].RUnlock()
 		}
@@ -407,20 +432,70 @@ func (s *Sharded) mergeShards(locked bool, op string) (*Result, error) {
 		if lower > res.LowerBound {
 			res.LowerBound = lower
 		}
-		if centers == nil || centers.N == 0 {
-			continue
-		}
-		if union == nil {
-			union = metric.NewDataset(0, centers.Dim)
-		}
-		if centers.Dim != union.Dim {
-			return nil, fmt.Errorf("stream: shard %d dimension %d, want %d", i, centers.Dim, union.Dim)
-		}
-		for j := 0; j < centers.N; j++ {
-			union.Append(centers.At(j))
+	}
+	remotes := s.remoteSources()
+	res.Remotes = len(remotes)
+	for _, r := range remotes {
+		res.Ingested += r.st.Ingested()
+		for i := range r.st.Shards {
+			sh := &r.st.Shards[i]
+			if b := 4 * sh.R; b > worstShardBound {
+				worstShardBound = b
+			}
+			if lb := sh.R / 2; lb > res.LowerBound {
+				res.LowerBound = lb
+			}
 		}
 	}
-	if union == nil {
+	// Assemble the union in deterministic source order: contributing sources
+	// (the local summaries under cfg.Origin, each remote state under its
+	// origin) sorted by origin label, shards in index order within a source.
+	var union *metric.Dataset
+	add := func(who string, shard int, row []float64) error {
+		if union == nil {
+			union = metric.NewDataset(0, len(row))
+		}
+		if len(row) != union.Dim {
+			return fmt.Errorf("stream: %s %d dimension %d, want %d", who, shard, len(row), union.Dim)
+		}
+		union.Append(row)
+		return nil
+	}
+	appendLocal := func() error {
+		for i, centers := range local {
+			if centers == nil {
+				continue
+			}
+			for j := 0; j < centers.N; j++ {
+				if err := add("shard", i, centers.At(j)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	localDone := false
+	for _, r := range remotes {
+		if !localDone && s.cfg.Origin < r.origin {
+			if err := appendLocal(); err != nil {
+				return nil, err
+			}
+			localDone = true
+		}
+		for i := range r.st.Shards {
+			for _, row := range r.st.Shards[i].Centers {
+				if err := add(fmt.Sprintf("remote %q shard", r.origin), i, row); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if !localDone {
+		if err := appendLocal(); err != nil {
+			return nil, err
+		}
+	}
+	if union == nil || union.N == 0 {
 		return nil, fmt.Errorf("stream: %s %w", op, ErrEmpty)
 	}
 	res.UnionSize = union.N

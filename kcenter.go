@@ -427,6 +427,21 @@ type ServerOptions struct {
 	// DefaultK is the center budget for lazily created tenants that do
 	// not pin their own with the X-Kcenter-K header; 0 means k.
 	DefaultK int
+	// NodeID names this node in replication gossip: the origin label its
+	// pushed states carry and the key peers file them under. Required with
+	// ReplicatePeers; empty leaves the node an unlabeled receiver.
+	NodeID string
+	// ReplicatePeers lists peer server base URLs this node pushes every
+	// tenant's exported clustering state to, once per ReplicateInterval,
+	// so peers serve assign/centers against the union summary (followers
+	// need no local ingest; merge correctness carries the sharded 10-approx
+	// bound). Push failures quarantine the peer under capped backoff, never
+	// the tenant. Empty disables pushing; POST /v1/replicate accepts
+	// inbound states regardless.
+	ReplicatePeers []string
+	// ReplicateInterval is the replication push period (0 = 2s); staleness
+	// on a healthy link is bounded by about one interval.
+	ReplicateInterval time.Duration
 	// Telemetry arms the process-wide telemetry registry: per-stage request
 	// latency histograms served by GET /metrics (Prometheus text format)
 	// and the p50/p99/max fields in /v1/stats. Disarmed, every
@@ -515,6 +530,9 @@ func NewServer(k int, opt ServerOptions) (*Server, error) {
 		CheckpointKeep:     opt.CheckpointKeep,
 		MaxTenants:         opt.MaxTenants,
 		DefaultK:           opt.DefaultK,
+		NodeID:             opt.NodeID,
+		ReplicatePeers:     opt.ReplicatePeers,
+		ReplicateInterval:  opt.ReplicateInterval,
 		Telemetry:          opt.Telemetry,
 		Pprof:              opt.Pprof,
 		SlowRequest:        opt.SlowRequest,

@@ -23,7 +23,7 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_kernels.json}"
 # Serial suite: everything except the two parallel sweeps below.
-PATTERN='^(BenchmarkKernel|BenchmarkEvaluate|BenchmarkGonzalezUNIF2D$|BenchmarkGonzalezGAU2D$|BenchmarkGonzalez$|BenchmarkStreamPush|BenchmarkServe)'
+PATTERN='^(BenchmarkKernel|BenchmarkEvaluate|BenchmarkGonzalezUNIF2D$|BenchmarkGonzalezGAU2D$|BenchmarkGonzalez$|BenchmarkStreamPush|BenchmarkServe|BenchmarkReplicateMerge$)'
 # Parallel suite, run under -cpu 1,4: the 1 row is the single-core
 # baseline, the 4 row is what the worker pool / shard fan-out buys (or
 # costs) at 4-way GOMAXPROCS on this host.

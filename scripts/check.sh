@@ -25,9 +25,10 @@ go test -race -short ./internal/stream/... ./internal/server/... ./internal/faul
 # Fuzz gate: a short random-exploration budget per native fuzz target on
 # top of the committed seed corpora; any crasher fails the gate.
 FUZZTIME="${FUZZTIME:-10s}"
-echo "== fuzz gate (4 targets, $FUZZTIME each)"
+echo "== fuzz gate (5 targets, $FUZZTIME each)"
 go test -run '^$' -fuzz '^FuzzDecodeIngest$' -fuzztime "$FUZZTIME" ./internal/server
 go test -run '^$' -fuzz '^FuzzDecodeAssign$' -fuzztime "$FUZZTIME" ./internal/server
+go test -run '^$' -fuzz '^FuzzDecodeReplicate$' -fuzztime "$FUZZTIME" ./internal/server
 go test -run '^$' -fuzz '^FuzzCheckpointDecode$' -fuzztime "$FUZZTIME" ./internal/checkpoint
 go test -run '^$' -fuzz '^FuzzParseSpec$' -fuzztime "$FUZZTIME" ./internal/fault
 
